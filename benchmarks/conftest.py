@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper (or an ablation) at
+a scaled-down configuration, prints the corresponding text table, and writes
+it to ``benchmarks/results/`` so the artefacts survive pytest's output
+capture.  Timing is collected with pytest-benchmark (single round: these are
+minutes-scale simulations, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.utils.units import KILOBYTE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def benchmark_config() -> ExperimentConfig:
+    """The scaled-down configuration used by the figure benchmarks.
+
+    Chosen so that a full ``pytest benchmarks/ --benchmark-only`` run finishes
+    in a few minutes of wall time while still exhibiting every qualitative
+    result of the paper's Figure 1 (see EXPERIMENTS.md for the mapping to the
+    paper's full-scale parameters).
+    """
+    return ExperimentConfig(
+        fattree_k=4,
+        num_foreground_transfers=24,
+        object_bytes=128 * KILOBYTE,
+        background_fraction=0.2,
+        offered_load=0.15,
+        max_sim_time_s=30.0,
+        seed=1,
+    )
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Session-scoped benchmark configuration."""
+    return benchmark_config()

@@ -1,0 +1,71 @@
+"""Ablation benchmarks for the design choices argued in the paper's Section 2.
+
+A1  packet trimming vs drop-tail (under Polyraptor, Incast workload)
+A2  per-packet spraying vs per-flow ECMP vs single path (permutation traffic)
+A3  RaptorQ receive overhead vs decode failure rate (real codec)
+A4  initial-window size vs single-session goodput
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.experiments.ablations import (
+    initial_window_ablation,
+    rq_overhead_ablation,
+    spraying_ablation,
+    trimming_ablation,
+)
+from repro.experiments.report import format_ablation, format_overhead
+from repro.utils.units import KILOBYTE
+
+
+def test_trimming_ablation(benchmark, config):
+    points = benchmark.pedantic(
+        lambda: trimming_ablation(config, num_senders=12, response_bytes=256 * KILOBYTE),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_trimming",
+            format_ablation(points, "A1 -- Polyraptor Incast: trimming vs drop-tail switches"))
+    by_label = {point.label: point for point in points}
+    assert by_label["trimming"].trimmed_packets > 0
+    assert by_label["trimming"].dropped_packets == 0
+    assert by_label["droptail"].dropped_packets > 0
+    # Trimming must be at least as good as dropping whole packets.
+    assert by_label["trimming"].goodput_gbps >= 0.9 * by_label["droptail"].goodput_gbps
+
+
+def test_spraying_ablation(benchmark, config):
+    points = benchmark.pedantic(
+        lambda: spraying_ablation(config), rounds=1, iterations=1
+    )
+    publish("ablation_spraying",
+            format_ablation(points, "A2 -- permutation traffic: spraying vs ECMP vs single path"))
+    by_label = {point.label: point for point in points}
+    assert by_label["packet_spray"].goodput_gbps >= 0.9 * by_label["ecmp_flow"].goodput_gbps
+    assert by_label["packet_spray"].goodput_gbps >= 0.9 * by_label["single_path"].goodput_gbps
+
+
+def test_rq_overhead(benchmark):
+    points = benchmark.pedantic(
+        lambda: rq_overhead_ablation(num_source_symbols=32, symbol_size=64, trials=40),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_rq_overhead",
+            format_overhead(points, "A3 -- RQ decode failure rate vs received overhead"))
+    by_overhead = {point.overhead: point for point in points}
+    # Footnote 2 of the paper: K + 2 symbols decode with overwhelming probability.
+    assert by_overhead[2].failures == 0
+    assert by_overhead[2].failure_rate <= by_overhead[0].failure_rate
+
+
+def test_initial_window(benchmark, config):
+    points = benchmark.pedantic(
+        lambda: initial_window_ablation(config, window_sizes=(2, 6, 12, 18, 24)),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_initial_window",
+            format_ablation(points, "A4 -- single-session goodput vs initial window (symbols)"))
+    goodputs = [point.goodput_gbps for point in points]
+    # Goodput grows with the window until it covers the bandwidth-delay product.
+    assert goodputs[0] < goodputs[2] <= goodputs[-1] * 1.05
+    assert goodputs[-1] > 0.8

@@ -1,0 +1,39 @@
+"""Figure 1a benchmark: replication (multicast) goodput vs session rank.
+
+Paper series: 1 Replica RQ, 3 Replicas RQ, 1 Replica TCP, 3 Replicas TCP.
+Expected shape (scaled): Polyraptor beats TCP for both replica counts, and
+adding replicas costs Polyraptor (multicast) far less than TCP
+(multi-unicast).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.experiments.config import Protocol
+from repro.experiments.figure1a import run_figure1a
+from repro.experiments.report import format_rank_figure
+
+
+def test_figure1a_replication(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_figure1a(config, replica_counts=(1, 3)), rounds=1, iterations=1
+    )
+
+    text = format_rank_figure(result, "Figure 1a -- storage replication (scaled down)")
+    ratio_lines = []
+    rq1 = result.summary(Protocol.POLYRAPTOR, 1).mean_gbps
+    rq3 = result.summary(Protocol.POLYRAPTOR, 3).mean_gbps
+    tcp1 = result.summary(Protocol.TCP, 1).mean_gbps
+    tcp3 = result.summary(Protocol.TCP, 3).mean_gbps
+    ratio_lines.append(f"RQ  3-replica/1-replica goodput ratio: {rq3 / rq1:.2f}")
+    ratio_lines.append(f"TCP 3-replica/1-replica goodput ratio: {tcp3 / tcp1:.2f}")
+    publish("figure1a", text + "\n" + "\n".join(ratio_lines))
+
+    # Paper shape assertions.
+    assert rq1 > tcp1, "Polyraptor must outperform TCP with a single replica"
+    assert rq3 > tcp3, "Polyraptor must outperform TCP with three replicas"
+    assert rq3 / rq1 > tcp3 / tcp1, (
+        "replication must hurt multicast Polyraptor less than multi-unicast TCP"
+    )
+    for label, run in result.runs.items():
+        assert run.completion_fraction == 1.0, f"{label}: not all sessions completed"

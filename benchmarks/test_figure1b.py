@@ -1,0 +1,40 @@
+"""Figure 1b benchmark: multi-source fetch goodput vs session rank.
+
+Paper series: 1 Senders RQ, 3 Senders RQ, 1 Senders TCP, 3 Senders TCP.
+Expected shape (scaled): Polyraptor beats TCP; fetching from 3 replicas does
+not hurt Polyraptor (it load-balances across them without coordination).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.experiments.config import Protocol
+from repro.experiments.figure1b import run_figure1b
+from repro.experiments.report import format_rank_figure
+
+
+def test_figure1b_multi_source_fetch(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_figure1b(config, sender_counts=(1, 3)), rounds=1, iterations=1
+    )
+
+    rq1 = result.summary(Protocol.POLYRAPTOR, 1).mean_gbps
+    rq3 = result.summary(Protocol.POLYRAPTOR, 3).mean_gbps
+    tcp1 = result.summary(Protocol.TCP, 1).mean_gbps
+    tcp3 = result.summary(Protocol.TCP, 3).mean_gbps
+    extra = [
+        f"RQ  3-sender/1-sender goodput ratio: {rq3 / rq1:.2f}",
+        f"TCP 3-sender/1-sender goodput ratio: {tcp3 / tcp1:.2f}",
+    ]
+    publish(
+        "figure1b",
+        format_rank_figure(result, "Figure 1b -- multi-source fetch (scaled down)")
+        + "\n" + "\n".join(extra),
+    )
+
+    # Paper shape assertions.
+    assert rq1 > tcp1
+    assert rq3 > tcp3
+    assert rq3 >= 0.85 * rq1, "multi-source fetch must not hurt Polyraptor"
+    for label, run in result.runs.items():
+        assert run.completion_fraction == 1.0, f"{label}: not all sessions completed"

@@ -1,0 +1,48 @@
+"""Figure 1c benchmark: Incast -- goodput vs number of synchronised senders.
+
+Paper series: RQ 256KB, RQ 70KB, TCP 256KB, TCP 70KB (error bars = 95% CI over
+repetitions).  Expected shape (scaled): TCP's goodput collapses as the sender
+count grows; Polyraptor stays near the receiver's line rate for both response
+sizes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import publish
+from repro.experiments.config import Protocol
+from repro.experiments.figure1c import run_figure1c
+from repro.experiments.report import format_figure1c
+from repro.utils.units import KILOBYTE
+
+SENDER_COUNTS = (1, 2, 4, 8, 12)
+RESPONSE_SIZES = (256 * KILOBYTE, 70 * KILOBYTE)
+
+
+def test_figure1c_incast(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_figure1c(
+            config,
+            sender_counts=SENDER_COUNTS,
+            response_sizes=RESPONSE_SIZES,
+            num_seeds=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    publish("figure1c", format_figure1c(result, "Figure 1c -- Incast (scaled down)"))
+
+    for response_bytes in RESPONSE_SIZES:
+        rq_points = {p.num_senders: p for p in result.points(Protocol.POLYRAPTOR, response_bytes)}
+        tcp_points = {p.num_senders: p for p in result.points(Protocol.TCP, response_bytes)}
+        # Polyraptor never collapses: the largest fan-in is still near line rate.
+        assert rq_points[max(SENDER_COUNTS)].mean_goodput_gbps > 0.6
+        # Polyraptor's goodput at high fan-in is no worse than at low fan-in.
+        assert (rq_points[max(SENDER_COUNTS)].mean_goodput_gbps
+                > 0.8 * rq_points[1].mean_goodput_gbps)
+        # TCP collapses for large fan-in (the hallmark of Incast).
+        assert (tcp_points[max(SENDER_COUNTS)].mean_goodput_gbps
+                < 0.6 * tcp_points[1].mean_goodput_gbps)
+        # And Polyraptor beats TCP by a wide margin at high fan-in.
+        assert (rq_points[max(SENDER_COUNTS)].mean_goodput_gbps
+                > 2 * tcp_points[max(SENDER_COUNTS)].mean_goodput_gbps)

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the RaptorQ-style codec itself.
+
+These quantify the "RQ encoding/decoding complexity and latency" the paper's
+discussion section flags as an open question: encoder setup (intermediate
+symbol computation), per-symbol repair generation, and full-block decoding
+with and without losses.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.rq.decoder import BlockDecoder
+from repro.rq.encoder import BlockEncoder
+from repro.rq.params import for_k
+
+SYMBOL_SIZE = 1408
+
+
+def _source_block(k: int, seed: int = 1) -> list[bytes]:
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(SYMBOL_SIZE)) for _ in range(k)]
+
+
+@pytest.mark.parametrize("k", [32, 128])
+def test_encoder_setup(benchmark, k):
+    """Cost of computing the intermediate symbols for a K-symbol block."""
+    for_k(k)  # exclude the cached parameter/seed search from the measurement
+    source = _source_block(k)
+    encoder = benchmark(lambda: BlockEncoder(source))
+    assert encoder.num_source_symbols == k
+
+
+@pytest.mark.parametrize("k", [32, 128])
+def test_repair_symbol_generation(benchmark, k):
+    """Cost of generating one repair symbol (the sender's steady-state work)."""
+    encoder = BlockEncoder(_source_block(k))
+    counter = iter(range(k, 10_000_000))
+    symbol = benchmark(lambda: encoder.symbol(next(counter)))
+    assert len(symbol) == SYMBOL_SIZE
+
+
+@pytest.mark.parametrize("k", [32, 128])
+def test_decode_without_loss(benchmark, k):
+    """Decoding when every source symbol arrived: the systematic fast path."""
+    encoder = BlockEncoder(_source_block(k))
+    symbols = [(esi, encoder.symbol(esi)) for esi in range(k)]
+
+    def decode():
+        decoder = BlockDecoder(k, SYMBOL_SIZE)
+        for esi, data in symbols:
+            decoder.add_symbol(esi, data)
+        return decoder.decode()
+
+    result = benchmark(decode)
+    assert result.success and not result.used_gaussian_elimination
+
+
+@pytest.mark.parametrize("k", [32, 128])
+def test_decode_with_30_percent_loss(benchmark, k):
+    """Decoding with Gaussian elimination after losing 30% of the source symbols."""
+    encoder = BlockEncoder(_source_block(k))
+    rng = random.Random(2)
+    kept = [esi for esi in range(k) if rng.random() > 0.3]
+    repair = list(range(k, k + (k - len(kept)) + 2))
+    symbols = [(esi, encoder.symbol(esi)) for esi in kept + repair]
+
+    def decode():
+        decoder = BlockDecoder(k, SYMBOL_SIZE)
+        for esi, data in symbols:
+            decoder.add_symbol(esi, data)
+        return decoder.decode()
+
+    result = benchmark(decode)
+    assert result.success and result.used_gaussian_elimination

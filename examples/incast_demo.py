@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Incast demonstration (the scenario behind Figure 1c).
+
+An aggregator requests data from N workers; every worker answers at the same
+instant with a short response.  With TCP over drop-tail switches the receiver
+link collapses (buffer overflow -> retransmission timeouts -> idle link); with
+Polyraptor the combination of packet trimming, rateless symbols and receiver
+pull pacing keeps the link busy no matter how many workers answer.
+
+Run with:  python examples/incast_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.figure1c import run_incast_point
+from repro.utils.units import KILOBYTE
+
+
+def main() -> None:
+    config = ExperimentConfig(fattree_k=4, max_sim_time_s=30.0)
+    sender_counts = (1, 2, 4, 8, 12)
+    response_bytes = 256 * KILOBYTE
+
+    print("Incast: synchronised short flows into one receiver (256 KB responses)")
+    print()
+    print(f"{'senders':>8}  {'Polyraptor Gbps':>16}  {'TCP Gbps':>10}  {'RQ / TCP':>9}")
+    print(f"{'-' * 8}  {'-' * 16}  {'-' * 10}  {'-' * 9}")
+    for count in sender_counts:
+        rq = run_incast_point(Protocol.POLYRAPTOR, config, count, response_bytes, seed=1)
+        tcp = run_incast_point(Protocol.TCP, config, count, response_bytes, seed=1)
+        ratio = rq / tcp if tcp > 0 else float("inf")
+        print(f"{count:>8}  {rq:>16.3f}  {tcp:>10.3f}  {ratio:>8.1f}x")
+
+    print()
+    print("TCP's goodput collapses as the sender count grows; Polyraptor stays")
+    print("near the 1 Gbps receiver line rate (the paper's Figure 1c shape).")
+
+
+if __name__ == "__main__":
+    main()

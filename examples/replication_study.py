@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Replication study (the scenario behind Figure 1a).
+
+A distributed-storage client stores objects on 1 or 3 replica servers chosen
+outside its rack.  Polyraptor replicates via a single multicast session; the
+TCP baseline must multi-unicast a full copy to every replica.  The example
+runs a scaled-down version of the paper's workload (permutation clients,
+Poisson arrivals, 20% background traffic) and prints the per-series goodput
+summary plus the rank curve end points.
+
+Run with:  python examples/replication_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.figure1a import run_figure1a, series_label
+from repro.experiments.report import format_rank_figure
+from repro.utils.units import KILOBYTE
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        fattree_k=4,
+        num_foreground_transfers=20,
+        object_bytes=128 * KILOBYTE,
+        background_fraction=0.2,
+        offered_load=0.15,
+        max_sim_time_s=30.0,
+    )
+    print("Running the replication scenario (this takes a few seconds)...")
+    result = run_figure1a(config, replica_counts=(1, 3))
+
+    print()
+    print(format_rank_figure(result, "Figure 1a (scaled down): storage replication"))
+    print()
+
+    for num_replicas in (1, 3):
+        rq = result.summary(Protocol.POLYRAPTOR, num_replicas)
+        tcp = result.summary(Protocol.TCP, num_replicas)
+        print(f"  {num_replicas} replica(s): Polyraptor mean {rq.mean_gbps:.3f} Gbps "
+              f"vs TCP mean {tcp.mean_gbps:.3f} Gbps "
+              f"({rq.mean_gbps / tcp.mean_gbps:.1f}x)")
+
+    rq_ratio = (result.summary(Protocol.POLYRAPTOR, 3).mean_gbps
+                / result.summary(Protocol.POLYRAPTOR, 1).mean_gbps)
+    tcp_ratio = (result.summary(Protocol.TCP, 3).mean_gbps
+                 / result.summary(Protocol.TCP, 1).mean_gbps)
+    print()
+    print("  Going from 1 to 3 replicas costs:")
+    print(f"    Polyraptor (multicast)     : goodput x{rq_ratio:.2f}")
+    print(f"    TCP (multi-unicast)        : goodput x{tcp_ratio:.2f}")
+    print()
+    for num_replicas in (1, 3):
+        for protocol in Protocol:
+            run = result.runs[series_label(protocol, num_replicas)]
+            print(f"  {series_label(protocol, num_replicas):<16} "
+                  f"trimmed={run.trimmed_packets:<6} dropped={run.dropped_packets:<6} "
+                  f"completion={run.completion_fraction:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Polyraptor reproduction library.
+
+This package is a from-scratch Python reproduction of *Polyraptor: Embracing
+Path and Data Redundancy in Data Centres for Efficient Data Transport*
+(SIGCOMM 2018).  It contains:
+
+* :mod:`repro.sim` -- a deterministic discrete-event simulation engine.
+* :mod:`repro.rq` -- a systematic, rateless RaptorQ-style fountain codec.
+* :mod:`repro.network` -- a packet-level data-centre network substrate
+  (FatTree topologies, trimming switches, multicast trees, packet spraying).
+* :mod:`repro.transport` -- baseline transports (NewReno-style TCP).
+* :mod:`repro.core` -- the Polyraptor protocol itself (receiver-driven,
+  pull-based, unicast / multicast / multi-source sessions).
+* :mod:`repro.workloads` -- workload generators used by the paper's
+  evaluation (permutation traffic, Poisson arrivals, storage and Incast
+  scenarios).
+* :mod:`repro.experiments` -- the harness that regenerates every figure of
+  the paper's evaluation plus ablations.
+
+Quickstart::
+
+    from repro.experiments import runner
+    result = runner.run_unicast_demo()
+    print(result.mean_goodput_gbps)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

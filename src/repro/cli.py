@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any figure or ablation from a terminal.
+
+Usage (after installing the package)::
+
+    python -m repro.cli figure1a
+    python -m repro.cli figure1c --senders 1 2 4 8 12 --seeds 3
+    python -m repro.cli ablations
+    python -m repro.cli hotspot
+    python -m repro.cli all --fattree-k 4 --sessions 24
+
+Each command prints the same text table the corresponding benchmark produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.ablations import (
+    initial_window_ablation,
+    rq_overhead_ablation,
+    spraying_ablation,
+    trimming_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1a import run_figure1a
+from repro.experiments.figure1b import run_figure1b
+from repro.experiments.figure1c import run_figure1c
+from repro.experiments.hotspot import format_hotspot, run_hotspot_experiment
+from repro.experiments.report import (
+    format_ablation,
+    format_figure1c,
+    format_overhead,
+    format_rank_figure,
+)
+from repro.utils.units import KILOBYTE
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        fattree_k=args.fattree_k,
+        num_foreground_transfers=args.sessions,
+        object_bytes=args.object_kb * KILOBYTE,
+        offered_load=args.load,
+        seed=args.seed,
+        max_sim_time_s=args.max_sim_time,
+    )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fattree-k", type=int, default=4,
+                        help="fat-tree arity (k=10 is the paper's 250-host fabric)")
+    parser.add_argument("--sessions", type=int, default=24,
+                        help="foreground sessions per series")
+    parser.add_argument("--object-kb", type=int, default=128,
+                        help="object size in kilobytes (paper: 4096)")
+    parser.add_argument("--load", type=float, default=0.15,
+                        help="offered load as a fraction of host link rate")
+    parser.add_argument("--seed", type=int, default=1, help="base random seed")
+    parser.add_argument("--max-sim-time", type=float, default=30.0,
+                        help="simulation-time cap per run (seconds)")
+
+
+def _cmd_figure1a(args: argparse.Namespace) -> str:
+    result = run_figure1a(_build_config(args))
+    return format_rank_figure(result, "Figure 1a -- storage replication")
+
+
+def _cmd_figure1b(args: argparse.Namespace) -> str:
+    result = run_figure1b(_build_config(args))
+    return format_rank_figure(result, "Figure 1b -- multi-source fetch")
+
+
+def _cmd_figure1c(args: argparse.Namespace) -> str:
+    result = run_figure1c(
+        _build_config(args),
+        sender_counts=tuple(args.senders),
+        response_sizes=tuple(size * KILOBYTE for size in args.response_kb),
+        num_seeds=args.seeds,
+    )
+    return format_figure1c(result)
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    config = _build_config(args)
+    sections = [
+        format_ablation(trimming_ablation(config), "A1 -- trimming vs drop-tail"),
+        format_ablation(spraying_ablation(config), "A2 -- spraying vs ECMP vs single path"),
+        format_overhead(rq_overhead_ablation(), "A3 -- RQ decode overhead"),
+        format_ablation(initial_window_ablation(config), "A4 -- initial window"),
+    ]
+    return "\n\n".join(sections)
+
+
+def _cmd_hotspot(args: argparse.Namespace) -> str:
+    return format_hotspot(run_hotspot_experiment(_build_config(args)))
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    return "\n\n".join(
+        [
+            _cmd_figure1a(args),
+            _cmd_figure1b(args),
+            _cmd_figure1c(args),
+            _cmd_ablations(args),
+            _cmd_hotspot(args),
+        ]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the Polyraptor paper's figures and ablations."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in (
+        ("figure1a", _cmd_figure1a, "replication / multicast rank curves"),
+        ("figure1b", _cmd_figure1b, "multi-source fetch rank curves"),
+        ("figure1c", _cmd_figure1c, "Incast sweep"),
+        ("ablations", _cmd_ablations, "design-choice ablations A1-A4"),
+        ("hotspot", _cmd_hotspot, "network-hotspot extension experiment"),
+        ("all", _cmd_all, "everything above in sequence"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+        sub.set_defaults(handler=handler)
+        if name in ("figure1c", "all"):
+            sub.add_argument("--senders", type=int, nargs="+", default=[1, 2, 4, 8, 12],
+                             help="sender counts to sweep")
+            sub.add_argument("--response-kb", type=int, nargs="+", default=[256, 70],
+                             help="response sizes in kilobytes")
+            sub.add_argument("--seeds", type=int, default=3,
+                             help="repetitions for the confidence intervals")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse arguments, run the requested command, print its table."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = args.handler(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Polyraptor: the paper's receiver-driven, RaptorQ-coded transport.
+
+The protocol is implemented as one :class:`~repro.core.agent.PolyraptorAgent`
+per host.  An agent owns:
+
+* the host's single **pull pacer** (:mod:`repro.core.pull_queue`), shared by
+  every session terminating at that host, which paces pull requests so the
+  aggregate symbol arrival rate matches the host's link capacity;
+* **sender sessions** (:mod:`repro.core.sender`): push a window of encoding
+  symbols at line rate for the first RTT, then emit one new symbol per pull;
+  multicast senders aggregate pulls from all receivers, multi-source senders
+  serve a disjoint partition of the symbol space;
+* **receiver sessions** (:mod:`repro.core.receiver`): count (or actually
+  decode) received symbols, issue a pull for every full or trimmed symbol
+  that arrives, and declare completion once the block is decodable.
+
+Sessions are one-to-many (replication / multicast), many-to-one
+(multi-source fetch) or one-to-one (plain unicast, a specialisation of both).
+"""
+
+from repro.core.agent import POLYRAPTOR_PROTOCOL, PolyraptorAgent
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DonePayload, PullPayload, RequestPayload, SymbolPayload
+from repro.core.pull_queue import PullPacer
+from repro.core.receiver import ReceiverSession
+from repro.core.sender import SenderSession
+from repro.core.straggler import StragglerPolicy
+
+__all__ = [
+    "POLYRAPTOR_PROTOCOL",
+    "PolyraptorAgent",
+    "PolyraptorConfig",
+    "PullPacer",
+    "SenderSession",
+    "ReceiverSession",
+    "StragglerPolicy",
+    "SymbolPayload",
+    "PullPayload",
+    "RequestPayload",
+    "DonePayload",
+]

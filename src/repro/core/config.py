@@ -1,0 +1,79 @@
+"""Polyraptor protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rq.block import DEFAULT_MAX_SYMBOLS_PER_BLOCK, DEFAULT_SYMBOL_SIZE
+from repro.utils.units import MICROSECOND
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PolyraptorConfig:
+    """Tunable parameters of the Polyraptor protocol.
+
+    Attributes:
+        symbol_size_bytes: payload bytes of one encoding symbol (fits in an
+            MTU together with the header).
+        header_bytes: wire header size for every Polyraptor packet.
+        initial_window_symbols: how many symbols a sender pushes at line rate
+            before becoming pull-clocked (roughly one bandwidth-delay product;
+            18 MTU-sized symbols cover the ~190 microsecond RTT of the
+            paper's 1 Gbps FatTree).
+        decode_overhead_symbols: extra symbols (beyond K) a receiver collects
+            before declaring a block decodable when at least one source symbol
+            was lost; RFC 6330's two-symbol overhead gives a failure
+            probability below 1e-6.
+        pull_bytes: wire size of a pull request.
+        control_bytes: wire size of request/done control packets.
+        max_symbols_per_block: cap on source symbols per block (the object
+            layer splits larger objects).
+        carry_payload: if True, symbol packets carry real encoded bytes and
+            receivers actually decode (slower; used by integration tests and
+            the quickstart example).  If False, the simulation tracks symbol
+            identities only, which is behaviourally equivalent for the
+            goodput experiments.
+        divide_initial_window_among_senders: in a multi-source session, have
+            each of the N senders push window/N symbols initially instead of a
+            full window each.
+        stall_timeout_s: receiver-side timer; if nothing arrives for this long
+            on an incomplete session, the receiver re-issues pulls (guards
+            against the rare loss of trimmed headers).
+        straggler_detection: enable the multicast straggler extension (detach
+            receivers that fall too far behind into a unicast leg).
+        straggler_lag_symbols: how many pulls a receiver may lag behind the
+            fastest group member before being detached.  Because pull counts
+            can never diverge by more than roughly the initial window (the
+            sender is pull-clocked), this should be set below
+            ``initial_window_symbols``.
+    """
+
+    symbol_size_bytes: int = DEFAULT_SYMBOL_SIZE
+    header_bytes: int = 64
+    initial_window_symbols: int = 18
+    decode_overhead_symbols: int = 2
+    pull_bytes: int = 64
+    control_bytes: int = 64
+    max_symbols_per_block: int = DEFAULT_MAX_SYMBOLS_PER_BLOCK
+    carry_payload: bool = False
+    divide_initial_window_among_senders: bool = True
+    stall_timeout_s: float = 500 * MICROSECOND
+    straggler_detection: bool = False
+    straggler_lag_symbols: int = 12
+
+    def __post_init__(self) -> None:
+        check_positive("symbol_size_bytes", self.symbol_size_bytes)
+        check_positive("header_bytes", self.header_bytes)
+        check_positive("initial_window_symbols", self.initial_window_symbols)
+        check_non_negative("decode_overhead_symbols", self.decode_overhead_symbols)
+        check_positive("pull_bytes", self.pull_bytes)
+        check_positive("control_bytes", self.control_bytes)
+        check_positive("max_symbols_per_block", self.max_symbols_per_block)
+        check_positive("stall_timeout_s", self.stall_timeout_s)
+        check_positive("straggler_lag_symbols", self.straggler_lag_symbols)
+
+    @property
+    def symbol_packet_bytes(self) -> int:
+        """Wire size of a full (untrimmed) symbol packet."""
+        return self.symbol_size_bytes + self.header_bytes

@@ -1,0 +1,243 @@
+"""Polyraptor receiver sessions.
+
+A receiver session:
+
+* tracks, per source block, which encoding symbols have arrived (or actually
+  feeds them to a RaptorQ decoder in payload mode);
+* adds one pull request to the host's shared pull pacer for every **full or
+  trimmed** symbol that arrives while the session is incomplete -- a trimmed
+  header still tells the receiver that a symbol was sent (and lost), so the
+  pull keeps the self-clocking loop running without ever re-requesting the
+  specific lost symbol;
+* declares a block complete once it holds all K source symbols, or any
+  K + overhead distinct symbols otherwise;
+* when every block is complete, sends DONE to every sender, cancels pending
+  pulls, and reports completion.
+
+For many-to-one (multi-source) sessions the receiver is the initiator: it
+sends a REQUEST to each replica holder, then pulls from whichever sender's
+symbols arrive -- a fast sender's symbols arrive more often, so it receives
+more pulls, which is the paper's "natural load balancing" mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DonePayload, PullPayload, RequestPayload, SymbolPayload
+from repro.network.packet import Packet, make_control_packet
+from repro.rq.block import EncodedSymbol, ObjectDecoder, partition_object
+from repro.rq.decoder import DecodeFailure
+from repro.sim.process import Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.agent import PolyraptorAgent
+
+
+class ReceiverSession:
+    """Receiver-side state for one Polyraptor session on one host."""
+
+    def __init__(
+        self,
+        agent: "PolyraptorAgent",
+        session_id: int,
+        object_bytes: int,
+        expected_senders: Optional[list[int]] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.agent = agent
+        self.config: PolyraptorConfig = agent.config
+        self.session_id = session_id
+        self.object_bytes = object_bytes
+        self.expected_senders = list(expected_senders) if expected_senders else []
+        self._on_complete = on_complete
+
+        self.oti = partition_object(
+            object_bytes, self.config.symbol_size_bytes, self.config.max_symbols_per_block
+        )
+        self._received: list[set[int]] = [set() for _ in range(self.oti.num_source_blocks)]
+        self._complete_blocks: set[int] = set()
+        self._known_senders: set[int] = set(self.expected_senders)
+        self._stall_sender_cursor = 0
+        self._pull_sequence = 0
+
+        self._decoder: Optional[ObjectDecoder] = None
+        if self.config.carry_payload:
+            self._decoder = ObjectDecoder(self.oti)
+        self.received_data: Optional[bytes] = None
+
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.start_time = agent.sim.now
+        self.symbols_received = 0
+        self.trimmed_received = 0
+        self.duplicate_symbols = 0
+        self.stall_events = 0
+
+        self._stall_timer = Timer(agent.sim, self._on_stall)
+        self._stall_timer.start(self.config.stall_timeout_s)
+
+    # Session initiation -----------------------------------------------------------
+
+    def start_fetch(self) -> None:
+        """Initiate a many-to-one fetch: send a REQUEST to every replica holder."""
+        if not self.expected_senders:
+            raise ValueError("a fetch session needs at least one sender")
+        num_senders = len(self.expected_senders)
+        for index, sender in enumerate(self.expected_senders):
+            request = RequestPayload(
+                session_id=self.session_id,
+                receiver_host=self.agent.host.node_id,
+                object_bytes=self.object_bytes,
+                sender_index=index,
+                num_senders=num_senders,
+            )
+            packet = make_control_packet(
+                protocol=self.agent.PROTOCOL,
+                src=self.agent.host.node_id,
+                dst=sender,
+                payload=request,
+                flow_id=self.session_id,
+                size_bytes=self.config.control_bytes,
+                created_at=self.agent.sim.now,
+            )
+            self.agent.host.send(packet)
+
+    # Symbol handling ----------------------------------------------------------------
+
+    def on_symbol(self, payload: SymbolPayload, trimmed: bool) -> None:
+        """Process one arriving symbol packet (full or trimmed)."""
+        if self.completed:
+            return
+        self._known_senders.add(payload.sender_host)
+        self._stall_timer.restart(self.config.stall_timeout_s)
+
+        if trimmed:
+            # The payload was cut by a switch; the header alone still triggers
+            # a pull -- the lost symbol itself is never re-requested.
+            self.trimmed_received += 1
+        else:
+            self._record_symbol(payload)
+            if self._session_complete():
+                self._finish()
+                return
+        self._request_more(payload.sender_host)
+
+    def _record_symbol(self, payload: SymbolPayload) -> None:
+        block = payload.block_number
+        if block in self._complete_blocks:
+            self.duplicate_symbols += 1
+            return
+        received = self._received[block]
+        if payload.esi in received:
+            self.duplicate_symbols += 1
+            return
+        received.add(payload.esi)
+        self.symbols_received += 1
+        if self._decoder is not None and payload.data is not None:
+            self._decoder.add_symbol(
+                EncodedSymbol(block_number=block, esi=payload.esi, data=payload.data)
+            )
+        if self._block_complete(block):
+            self._complete_blocks.add(block)
+
+    def _block_complete(self, block: int) -> bool:
+        k = self.oti.block_symbol_count(block)
+        received = self._received[block]
+        source_count = sum(1 for esi in received if esi < k)
+        if source_count == k:
+            return True
+        return len(received) >= k + self.config.decode_overhead_symbols
+
+    def _session_complete(self) -> bool:
+        return len(self._complete_blocks) == self.oti.num_source_blocks
+
+    # Pull generation -------------------------------------------------------------------
+
+    def lowest_incomplete_block(self) -> Optional[int]:
+        """The first block that still needs symbols (None when all complete)."""
+        for block in range(self.oti.num_source_blocks):
+            if block not in self._complete_blocks:
+                return block
+        return None
+
+    def _request_more(self, target_sender: int) -> None:
+        self.agent.pacer.enqueue(self.session_id, lambda: self._build_pull(target_sender))
+
+    def _build_pull(self, target_sender: int) -> Optional[Packet]:
+        if self.completed:
+            return None
+        self._pull_sequence += 1
+        pull = PullPayload(
+            session_id=self.session_id,
+            receiver_host=self.agent.host.node_id,
+            pull_sequence=self._pull_sequence,
+            block_hint=self.lowest_incomplete_block(),
+        )
+        return make_control_packet(
+            protocol=self.agent.PROTOCOL,
+            src=self.agent.host.node_id,
+            dst=target_sender,
+            payload=pull,
+            flow_id=self.session_id,
+            size_bytes=self.config.pull_bytes,
+            created_at=self.agent.sim.now,
+        )
+
+    # Stall recovery ---------------------------------------------------------------------
+
+    def _on_stall(self) -> None:
+        """Nothing arrived for a while: re-issue pulls so the session cannot deadlock."""
+        if self.completed:
+            return
+        self.stall_events += 1
+        senders = sorted(self._known_senders) or sorted(self.expected_senders)
+        if senders:
+            incomplete_blocks = [
+                block
+                for block in range(self.oti.num_source_blocks)
+                if block not in self._complete_blocks
+            ]
+            pulls_to_issue = max(1, min(len(incomplete_blocks), 4))
+            for _ in range(pulls_to_issue):
+                target = senders[self._stall_sender_cursor % len(senders)]
+                self._stall_sender_cursor += 1
+                self._request_more(target)
+        self._stall_timer.start(self.config.stall_timeout_s)
+
+    # Completion --------------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        if self.completed:
+            return
+        if self._decoder is not None:
+            try:
+                self.received_data = self._decoder.decode()
+            except DecodeFailure:
+                # Extremely rare: the collected overhead was not sufficient.
+                # Keep the session open and pull a few more symbols.
+                for block in list(self._complete_blocks):
+                    if not self._decoder.block_decoder(block).is_decoded:
+                        self._complete_blocks.discard(block)
+                for sender in sorted(self._known_senders) or [0]:
+                    self._request_more(sender)
+                return
+        self.completed = True
+        self.completion_time = self.agent.sim.now
+        self._stall_timer.stop()
+        self.agent.pacer.cancel_session(self.session_id)
+        for sender in sorted(self._known_senders | set(self.expected_senders)):
+            done = DonePayload(session_id=self.session_id, receiver_host=self.agent.host.node_id)
+            packet = make_control_packet(
+                protocol=self.agent.PROTOCOL,
+                src=self.agent.host.node_id,
+                dst=sender,
+                payload=done,
+                flow_id=self.session_id,
+                size_bytes=self.config.control_bytes,
+                created_at=self.agent.sim.now,
+            )
+            self.agent.host.send(packet)
+        if self._on_complete is not None:
+            self._on_complete(self.agent.sim.now)

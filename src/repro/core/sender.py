@@ -1,0 +1,283 @@
+"""Polyraptor sender sessions.
+
+A sender session pushes an initial window of encoding symbols at line rate
+and afterwards emits exactly one new symbol per pull request ("pull
+clocking").  Three shapes exist, all handled by this class:
+
+* **unicast push** -- one receiver, symbols sent as unicast data packets;
+* **multicast push** -- several receivers reached through a multicast group;
+  the sender aggregates pulls and multicasts a new symbol only after every
+  active receiver has pulled (stragglers can be detached, see
+  :mod:`repro.core.straggler`);
+* **fetch serving** -- the sender is one of N replica holders answering a
+  receiver-initiated multi-source fetch; it serves the symbol-space partition
+  assigned to it (``sender_index`` / ``num_senders``), so symbols from
+  different senders never collide.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DonePayload, PullPayload, SymbolPayload
+from repro.core.straggler import StragglerPolicy
+from repro.network.packet import Packet, PacketKind
+from repro.rq.block import ObjectEncoder, partition_object
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.agent import PolyraptorAgent
+
+
+class SenderSession:
+    """Sender-side state for one Polyraptor session on one host."""
+
+    def __init__(
+        self,
+        agent: "PolyraptorAgent",
+        session_id: int,
+        object_bytes: int,
+        receiver_host_ids: list[int],
+        multicast_group: Optional[int] = None,
+        sender_index: int = 0,
+        num_senders: int = 1,
+        object_data: Optional[bytes] = None,
+        on_all_receivers_done: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if not receiver_host_ids:
+            raise ValueError("a sender session needs at least one receiver")
+        if num_senders < 1 or not 0 <= sender_index < num_senders:
+            raise ValueError("invalid sender_index / num_senders")
+        if multicast_group is not None and num_senders != 1:
+            raise ValueError("multicast sessions have a single sender")
+
+        self.agent = agent
+        self.config: PolyraptorConfig = agent.config
+        self.session_id = session_id
+        self.object_bytes = object_bytes
+        self.receiver_host_ids = list(receiver_host_ids)
+        self.multicast_group = multicast_group
+        self.sender_index = sender_index
+        self.num_senders = num_senders
+        self._on_all_receivers_done = on_all_receivers_done
+
+        self.oti = partition_object(
+            object_bytes, self.config.symbol_size_bytes, self.config.max_symbols_per_block
+        )
+        # Per-block sending state: remaining source ESIs of this sender's
+        # partition, and the next repair ESI (repair ESIs are strided by the
+        # number of senders so different senders never emit the same symbol).
+        self._pending_source: dict[int, deque[int]] = {}
+        self._next_repair_esi: dict[int, int] = {}
+        for block in range(self.oti.num_source_blocks):
+            k = self.oti.block_symbol_count(block)
+            self._pending_source[block] = deque(
+                esi for esi in range(k) if esi % num_senders == sender_index
+            )
+            self._next_repair_esi[block] = k + sender_index
+
+        # Multicast aggregation state.
+        self._active_receivers: set[int] = set(receiver_host_ids)
+        self._done_receivers: set[int] = set()
+        self._detached_receivers: set[int] = set()
+        self._pull_credits: dict[int, int] = {r: 0 for r in receiver_host_ids}
+        self._pulls_by_receiver: dict[int, int] = {r: 0 for r in receiver_host_ids}
+        self._last_hint: dict[int, Optional[int]] = {r: None for r in receiver_host_ids}
+        self._default_hint: Optional[int] = None
+        self.straggler_policy = StragglerPolicy(
+            enabled=self.config.straggler_detection,
+            lag_symbols=self.config.straggler_lag_symbols,
+        )
+
+        self._encoder: Optional[ObjectEncoder] = None
+        if self.config.carry_payload:
+            if object_data is None:
+                raise ValueError("carry_payload mode requires the object bytes")
+            if len(object_data) != object_bytes:
+                raise ValueError("object_data length does not match object_bytes")
+            self._encoder = ObjectEncoder(
+                object_data,
+                symbol_size=self.config.symbol_size_bytes,
+                max_symbols_per_block=self.config.max_symbols_per_block,
+            )
+
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.symbols_sent = 0
+        self.source_symbols_sent = 0
+        self.repair_symbols_sent = 0
+        self.pulls_received = 0
+        self.multicast_rounds = 0
+        self.detached_count = 0
+
+    # Public API ------------------------------------------------------------------
+
+    @property
+    def is_multicast(self) -> bool:
+        """True if this session multicasts symbols through a group."""
+        return self.multicast_group is not None
+
+    def start(self) -> None:
+        """Push the initial window of symbols at line rate."""
+        window = self.config.initial_window_symbols
+        if self.num_senders > 1 and self.config.divide_initial_window_among_senders:
+            window = max(1, math.ceil(window / self.num_senders))
+        for _ in range(window):
+            block, esi = self._next_symbol(None)
+            self._emit_symbol(block, esi)
+
+    def on_pull(self, pull: PullPayload) -> None:
+        """Handle a pull request from a receiver."""
+        if self.completed:
+            return
+        self.pulls_received += 1
+        receiver = pull.receiver_host
+        if receiver in self._done_receivers:
+            return
+        if not self.is_multicast:
+            block, esi = self._next_symbol(pull.block_hint)
+            self._emit_symbol(block, esi, unicast_to=receiver)
+            return
+        if receiver in self._detached_receivers:
+            block, esi = self._next_symbol(pull.block_hint)
+            self._emit_symbol(block, esi, unicast_to=receiver)
+            return
+        self._pulls_by_receiver[receiver] = self._pulls_by_receiver.get(receiver, 0) + 1
+        self._pull_credits[receiver] = self._pull_credits.get(receiver, 0) + 1
+        self._last_hint[receiver] = pull.block_hint
+        self._run_multicast_rounds()
+        self._detach_stragglers()
+
+    def on_done(self, done: DonePayload) -> None:
+        """Handle a receiver's DONE notification."""
+        receiver = done.receiver_host
+        if receiver in self._done_receivers:
+            return
+        self._done_receivers.add(receiver)
+        self._active_receivers.discard(receiver)
+        self._detached_receivers.discard(receiver)
+        self._pull_credits.pop(receiver, None)
+        if self.is_multicast:
+            # The finished receiver can no longer block aggregation.
+            self._run_multicast_rounds()
+        if set(self.receiver_host_ids) <= self._done_receivers:
+            self._complete()
+
+    # Symbol sequencing -------------------------------------------------------------
+
+    def _next_symbol(self, block_hint: Optional[int]) -> tuple[int, int]:
+        """Pick the next (block, esi) to emit, honouring the receiver's hint."""
+        block = self._choose_block(block_hint)
+        pending = self._pending_source[block]
+        if pending:
+            esi = pending.popleft()
+        else:
+            esi = self._next_repair_esi[block]
+            self._next_repair_esi[block] += self.num_senders
+        return block, esi
+
+    def _choose_block(self, block_hint: Optional[int]) -> int:
+        if block_hint is not None and 0 <= block_hint < self.oti.num_source_blocks:
+            self._default_hint = block_hint
+            return block_hint
+        for block in range(self.oti.num_source_blocks):
+            if self._pending_source[block]:
+                return block
+        if self._default_hint is not None:
+            return self._default_hint
+        return 0
+
+    def _emit_symbol(self, block: int, esi: int, unicast_to: Optional[int] = None) -> None:
+        data: Optional[bytes] = None
+        if self._encoder is not None:
+            data = self._encoder.symbol(block, esi).data
+        k = self.oti.block_symbol_count(block)
+        payload = SymbolPayload(
+            session_id=self.session_id,
+            sender_host=self.agent.host.node_id,
+            block_number=block,
+            esi=esi,
+            block_symbol_count=k,
+            num_blocks=self.oti.num_source_blocks,
+            object_bytes=self.object_bytes,
+            data=data,
+        )
+        if unicast_to is None and self.is_multicast:
+            destination = None
+            group = self.multicast_group
+        else:
+            destination = unicast_to if unicast_to is not None else self.receiver_host_ids[0]
+            group = None
+        packet = Packet(
+            protocol=self.agent.PROTOCOL,
+            src=self.agent.host.node_id,
+            dst=destination,
+            multicast_group=group,
+            size_bytes=self.config.symbol_packet_bytes,
+            kind=PacketKind.DATA,
+            flow_id=self.session_id,
+            header_bytes=self.config.header_bytes,
+            payload=payload,
+        )
+        self.agent.host.send(packet)
+        self.symbols_sent += 1
+        if esi < k:
+            self.source_symbols_sent += 1
+        else:
+            self.repair_symbols_sent += 1
+
+    # Multicast aggregation -----------------------------------------------------------
+
+    def _aggregated_hint(self) -> Optional[int]:
+        hints = [
+            self._last_hint.get(receiver)
+            for receiver in self._active_receivers
+            if self._last_hint.get(receiver) is not None
+        ]
+        return min(hints) if hints else None
+
+    def _run_multicast_rounds(self) -> None:
+        """Multicast one symbol for every full round of pulls available."""
+        if self.completed:
+            return
+        active = [r for r in self._active_receivers if r not in self._detached_receivers]
+        if not active:
+            return
+        while all(self._pull_credits.get(receiver, 0) >= 1 for receiver in active):
+            for receiver in active:
+                self._pull_credits[receiver] -= 1
+            block, esi = self._next_symbol(self._aggregated_hint())
+            self._emit_symbol(block, esi)
+            self.multicast_rounds += 1
+
+    def _detach_stragglers(self) -> None:
+        if not self.straggler_policy.enabled:
+            return
+        attached = {
+            r for r in self._active_receivers if r not in self._detached_receivers
+        }
+        stragglers = self.straggler_policy.find_stragglers(self._pulls_by_receiver, attached)
+        for receiver in stragglers:
+            self._detached_receivers.add(receiver)
+            self.detached_count += 1
+            # Serve any credits the straggler had accumulated as unicast symbols.
+            credits = self._pull_credits.get(receiver, 0)
+            self._pull_credits[receiver] = 0
+            for _ in range(credits):
+                block, esi = self._next_symbol(self._last_hint.get(receiver))
+                self._emit_symbol(block, esi, unicast_to=receiver)
+        if stragglers:
+            # Aggregation may now be unblocked for the remaining receivers.
+            self._run_multicast_rounds()
+
+    # Completion -----------------------------------------------------------------------
+
+    def _complete(self) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self.completion_time = self.agent.sim.now
+        if self._on_all_receivers_done is not None:
+            self._on_all_receivers_done(self.agent.sim.now)

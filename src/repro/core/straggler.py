@@ -1,0 +1,49 @@
+"""Straggler detection for multicast sessions (the paper's extension).
+
+Section 2 of the paper: *"As part of our current work is to be able to detect
+and eliminate straggler receivers by detaching them from the group and
+exchanging symbols with them independently through a one-to-one Polyraptor
+session."*
+
+A multicast sender only multicasts a new symbol once **every** active
+receiver has pulled, so one slow receiver throttles the whole group.  The
+policy below watches per-receiver pull counts; a receiver whose pull count
+falls more than ``lag_symbols`` behind the fastest receiver is declared a
+straggler.  The sender then detaches it: it stops participating in pull
+aggregation and is served through a dedicated unicast leg instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StragglerPolicy:
+    """Decides which receivers of a multicast session should be detached."""
+
+    enabled: bool = False
+    lag_symbols: int = 12
+
+    def find_stragglers(
+        self, pulls_by_receiver: dict[int, int], active_receivers: set[int]
+    ) -> set[int]:
+        """Return the active receivers that lag the fastest one by more than the threshold.
+
+        Args:
+            pulls_by_receiver: total pulls received from each receiver so far.
+            active_receivers: receivers still attached to the multicast group.
+        """
+        if not self.enabled or len(active_receivers) < 2:
+            return set()
+        counts = {receiver: pulls_by_receiver.get(receiver, 0) for receiver in active_receivers}
+        fastest = max(counts.values())
+        stragglers = {
+            receiver
+            for receiver, count in counts.items()
+            if fastest - count > self.lag_symbols
+        }
+        # Never detach everyone: the fastest receiver always stays attached.
+        if len(stragglers) >= len(active_receivers):
+            stragglers.discard(max(counts, key=counts.get))
+        return stragglers

@@ -1,0 +1,102 @@
+"""Figure 1a: goodput vs session rank for the replication (multicast) scenario.
+
+The paper's setup: a distributed-storage client stores an object on 1 or 3
+replica servers chosen outside its rack.  Polyraptor replicates through a
+multicast session; TCP emulates replication by multi-unicasting the object to
+every replica.  The figure plots per-session goodput against the session's
+rank (slowest first) for the four series:
+
+    1 Replica RQ, 3 Replicas RQ, 1 Replica TCP, 3 Replicas TCP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.metrics import SeriesSummary, goodput_rank_series
+from repro.experiments.runner import RunResult, run_transfers
+from repro.network.topology import FatTreeTopology
+from repro.sim.randomness import RandomStreams
+from repro.workloads.background import background_transfers
+from repro.workloads.spec import TransferKind
+from repro.workloads.storage import StorageWorkload
+
+
+def series_label(protocol: Protocol, num_replicas: int) -> str:
+    """The legend label used by the paper for one (protocol, replicas) series."""
+    noun = "Replica" if num_replicas == 1 else "Replicas"
+    short = "RQ" if protocol is Protocol.POLYRAPTOR else "TCP"
+    return f"{num_replicas} {noun} {short}"
+
+
+@dataclass
+class Figure1aResult:
+    """All four series of Figure 1a plus per-series summaries and run stats."""
+
+    config: ExperimentConfig
+    series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    summaries: dict[str, SeriesSummary] = field(default_factory=dict)
+    runs: dict[str, RunResult] = field(default_factory=dict)
+
+    def summary(self, protocol: Protocol, num_replicas: int) -> SeriesSummary:
+        """Summary of one series."""
+        return self.summaries[series_label(protocol, num_replicas)]
+
+
+def generate_workload(
+    config: ExperimentConfig,
+    num_replicas: int,
+    kind: TransferKind = TransferKind.REPLICATE,
+):
+    """Generate the (protocol-independent) workload for one replica count.
+
+    The same seed produces the same clients, replica placements and arrival
+    times regardless of the protocol, so RQ and TCP are offered identical
+    traffic.
+    """
+    topology = FatTreeTopology(config.fattree_k)
+    streams = RandomStreams(config.seed)
+    workload = StorageWorkload(
+        kind=kind,
+        num_replicas=num_replicas,
+        object_bytes=config.object_bytes,
+        arrival_rate_per_second=config.arrival_rate_per_second,
+    )
+    foreground = workload.generate(
+        topology,
+        config.num_foreground_transfers,
+        streams.stream(f"storage.{kind.value}.{num_replicas}"),
+        first_transfer_id=0,
+        label="foreground",
+    )
+    background = background_transfers(
+        topology,
+        config.num_background_transfers,
+        config.object_bytes,
+        config.arrival_rate_per_second,
+        streams.stream("background"),
+        first_transfer_id=len(foreground),
+    )
+    return topology, foreground + background
+
+
+def run_figure1a(
+    config: ExperimentConfig | None = None,
+    replica_counts: tuple[int, ...] = (1, 3),
+    protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+) -> Figure1aResult:
+    """Run every series of Figure 1a and return the rank curves."""
+    cfg = config or ExperimentConfig.scaled_default()
+    result = Figure1aResult(config=cfg)
+    for num_replicas in replica_counts:
+        topology, transfers = generate_workload(cfg, num_replicas, TransferKind.REPLICATE)
+        for protocol in protocols:
+            label = series_label(protocol, num_replicas)
+            run = run_transfers(protocol, cfg, transfers, topology=topology)
+            result.runs[label] = run
+            result.series[label] = goodput_rank_series(run.registry, "foreground")
+            goodputs = run.goodputs_gbps("foreground")
+            if goodputs:
+                result.summaries[label] = SeriesSummary.from_goodputs(label, goodputs)
+    return result

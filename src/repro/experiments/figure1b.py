@@ -1,0 +1,60 @@
+"""Figure 1b: goodput vs session rank for the multi-source fetch scenario.
+
+A storage client fetches an object that is stored on 1 or 3 replica servers.
+Polyraptor pulls statistically unique symbols from all replicas at once
+(natural load balancing); TCP emulates the fetch by having each replica send
+an uncoordinated 1/N share of the object.  Series:
+
+    1 Senders RQ, 3 Senders RQ, 1 Senders TCP, 3 Senders TCP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.figure1a import generate_workload
+from repro.experiments.metrics import SeriesSummary, goodput_rank_series
+from repro.experiments.runner import RunResult, run_transfers
+from repro.workloads.spec import TransferKind
+
+
+def series_label(protocol: Protocol, num_senders: int) -> str:
+    """The legend label used by the paper for one (protocol, senders) series."""
+    short = "RQ" if protocol is Protocol.POLYRAPTOR else "TCP"
+    return f"{num_senders} Senders {short}"
+
+
+@dataclass
+class Figure1bResult:
+    """All four series of Figure 1b plus per-series summaries and run stats."""
+
+    config: ExperimentConfig
+    series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    summaries: dict[str, SeriesSummary] = field(default_factory=dict)
+    runs: dict[str, RunResult] = field(default_factory=dict)
+
+    def summary(self, protocol: Protocol, num_senders: int) -> SeriesSummary:
+        """Summary of one series."""
+        return self.summaries[series_label(protocol, num_senders)]
+
+
+def run_figure1b(
+    config: ExperimentConfig | None = None,
+    sender_counts: tuple[int, ...] = (1, 3),
+    protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+) -> Figure1bResult:
+    """Run every series of Figure 1b and return the rank curves."""
+    cfg = config or ExperimentConfig.scaled_default()
+    result = Figure1bResult(config=cfg)
+    for num_senders in sender_counts:
+        topology, transfers = generate_workload(cfg, num_senders, TransferKind.FETCH)
+        for protocol in protocols:
+            label = series_label(protocol, num_senders)
+            run = run_transfers(protocol, cfg, transfers, topology=topology)
+            result.runs[label] = run
+            result.series[label] = goodput_rank_series(run.registry, "foreground")
+            goodputs = run.goodputs_gbps("foreground")
+            if goodputs:
+                result.summaries[label] = SeriesSummary.from_goodputs(label, goodputs)
+    return result

@@ -1,0 +1,78 @@
+"""Metrics used by the figures: rank curves, aggregate goodputs, CIs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.transport.base import TransferRegistry
+from repro.utils.cdf import Cdf, confidence_interval_95, rank_curve
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of one goodput series (one curve of a figure)."""
+
+    label: str
+    count: int
+    mean_gbps: float
+    median_gbps: float
+    p10_gbps: float
+    p90_gbps: float
+    min_gbps: float
+    max_gbps: float
+
+    @classmethod
+    def from_goodputs(cls, label: str, goodputs_gbps: Sequence[float]) -> "SeriesSummary":
+        """Build a summary from raw per-transfer goodputs."""
+        if not goodputs_gbps:
+            raise ValueError(f"series {label!r} has no completed transfers")
+        cdf = Cdf.from_samples(goodputs_gbps)
+        return cls(
+            label=label,
+            count=len(cdf),
+            mean_gbps=cdf.mean(),
+            median_gbps=cdf.median(),
+            p10_gbps=cdf.quantile(0.10),
+            p90_gbps=cdf.quantile(0.90),
+            min_gbps=cdf.values[0],
+            max_gbps=cdf.values[-1],
+        )
+
+
+def goodput_rank_series(
+    registry: TransferRegistry, label: Optional[str] = "foreground"
+) -> list[tuple[int, float]]:
+    """(rank, goodput Gbps) pairs sorted from the slowest session to the fastest.
+
+    This is exactly the series plotted in the paper's Figures 1a and 1b.
+    """
+    return rank_curve(registry.goodputs_gbps(label))
+
+
+def aggregate_goodput_gbps(
+    registry: TransferRegistry, label: Optional[str] = None
+) -> float:
+    """Aggregate application goodput of a set of transfers.
+
+    Total bytes delivered divided by the span from the earliest start to the
+    latest completion -- the natural metric for the Incast scenario where all
+    responses target one receiver.
+    """
+    records = [
+        record
+        for record in registry.completed_records
+        if label is None or record.label == label
+    ]
+    if not records:
+        return 0.0
+    total_bytes = sum(record.transfer_bytes for record in records)
+    span = max(r.completion_time for r in records) - min(r.start_time for r in records)
+    if span <= 0:
+        return 0.0
+    return total_bytes * 8 / span / 1e9
+
+
+def mean_with_confidence(samples: Sequence[float]) -> tuple[float, float]:
+    """(mean, 95% CI half-width) across repetition seeds, as in Figure 1c."""
+    return confidence_interval_95(samples)

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so that a run of
+``pytest benchmarks/ --benchmark-only`` reproduces, in text form, the same
+rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.ablations import AblationPoint, OverheadPoint
+from repro.experiments.figure1a import Figure1aResult
+from repro.experiments.figure1b import Figure1bResult
+from repro.experiments.figure1c import Figure1cResult
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rank_figure(result: Figure1aResult | Figure1bResult, title: str) -> str:
+    """Render a Figure 1a/1b result: one row per series with goodput quantiles."""
+    rows = []
+    for label in sorted(result.summaries):
+        summary = result.summaries[label]
+        rows.append(
+            [
+                label,
+                str(summary.count),
+                f"{summary.p10_gbps:.3f}",
+                f"{summary.median_gbps:.3f}",
+                f"{summary.mean_gbps:.3f}",
+                f"{summary.p90_gbps:.3f}",
+            ]
+        )
+    table = _format_table(
+        ["series", "sessions", "p10 Gbps", "median Gbps", "mean Gbps", "p90 Gbps"], rows
+    )
+    return f"{title}\n{table}"
+
+
+def format_figure1c(result: Figure1cResult, title: str = "Figure 1c (Incast)") -> str:
+    """Render Figure 1c: one row per (series, sender count) with mean +/- CI."""
+    rows = []
+    for label in sorted(result.series):
+        for point in result.series[label]:
+            rows.append(
+                [
+                    label,
+                    str(point.num_senders),
+                    f"{point.mean_goodput_gbps:.3f}",
+                    f"+/-{point.ci95_gbps:.3f}",
+                ]
+            )
+    table = _format_table(["series", "senders", "goodput Gbps", "95% CI"], rows)
+    return f"{title}\n{table}"
+
+
+def format_ablation(points: Sequence[AblationPoint], title: str) -> str:
+    """Render an ablation series."""
+    rows = [
+        [point.label, f"{point.goodput_gbps:.3f}", str(point.trimmed_packets), str(point.dropped_packets)]
+        for point in points
+    ]
+    table = _format_table(["configuration", "goodput Gbps", "trimmed", "dropped"], rows)
+    return f"{title}\n{table}"
+
+
+def format_overhead(points: Sequence[OverheadPoint], title: str = "RQ decode overhead") -> str:
+    """Render the RQ overhead ablation."""
+    rows = [
+        [str(point.overhead), str(point.trials), str(point.failures), f"{point.failure_rate:.3f}"]
+        for point in points
+    ]
+    table = _format_table(["overhead symbols", "trials", "failures", "failure rate"], rows)
+    return f"{title}\n{table}"

@@ -1,0 +1,227 @@
+"""The scenario runner: offer a workload to a protocol and collect results.
+
+The runner is deliberately protocol-agnostic: it takes a list of
+:class:`~repro.workloads.spec.TransferSpec` (generated once per seed) and
+executes it either with Polyraptor sessions over a trimming/spraying fabric
+or with TCP flows over a drop-tail/ECMP fabric.  Because the workload is
+generated before the protocol is chosen, both protocols see byte-identical
+offered traffic -- the paper's methodological requirement for a fair
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.agent import PolyraptorAgent
+from repro.core.config import PolyraptorConfig
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.network.network import Network
+from repro.network.topology import FatTreeTopology, Topology
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import TraceLog
+from repro.transport.base import TransferRegistry
+from repro.transport.tcp.agent import TcpAgent
+from repro.transport.tcp.multiunicast import start_multi_source_fetch, start_replicated_push
+from repro.workloads.spec import TransferKind, TransferSpec
+
+
+@dataclass
+class RunResult:
+    """Everything collected from one simulation run."""
+
+    protocol: Protocol
+    registry: TransferRegistry
+    sim_time_s: float
+    wall_time_s: float
+    events_processed: int
+    trimmed_packets: int
+    dropped_packets: int
+    num_hosts: int
+    trace: Optional[TraceLog] = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of offered transfers that completed before the run ended."""
+        return self.registry.completion_fraction()
+
+    def goodputs_gbps(self, label: Optional[str] = "foreground") -> list[float]:
+        """Goodputs of completed transfers with the given label (None = all)."""
+        return self.registry.goodputs_gbps(label)
+
+
+@dataclass
+class _Environment:
+    """A fully built simulation environment for one protocol."""
+
+    sim: Simulator
+    network: Network
+    registry: TransferRegistry
+    polyraptor_agents: dict[str, PolyraptorAgent]
+    tcp_agents: dict[str, TcpAgent]
+
+
+def build_environment(
+    protocol: Protocol,
+    config: ExperimentConfig,
+    topology: Optional[Topology] = None,
+    trace: Optional[TraceLog] = None,
+    polyraptor_config: Optional[PolyraptorConfig] = None,
+) -> _Environment:
+    """Build the simulator, network and per-host agents for one protocol."""
+    sim = Simulator()
+    topo = topology or FatTreeTopology(config.fattree_k)
+    streams = RandomStreams(config.seed)
+    network = Network(sim, topo, config.network_config(protocol), streams, trace=trace)
+    registry = TransferRegistry()
+    polyraptor_agents: dict[str, PolyraptorAgent] = {}
+    tcp_agents: dict[str, TcpAgent] = {}
+    if protocol is Protocol.POLYRAPTOR:
+        pcfg = polyraptor_config or config.polyraptor
+        for host in network.hosts:
+            polyraptor_agents[host.name] = PolyraptorAgent(sim, host, pcfg, registry, trace)
+    else:
+        for host in network.hosts:
+            tcp_agents[host.name] = TcpAgent(sim, host, config.tcp, registry)
+    return _Environment(
+        sim=sim,
+        network=network,
+        registry=registry,
+        polyraptor_agents=polyraptor_agents,
+        tcp_agents=tcp_agents,
+    )
+
+
+def _start_polyraptor_transfer(env: _Environment, spec: TransferSpec) -> None:
+    network = env.network
+    agents = env.polyraptor_agents
+    peer_ids = [network.host_id(peer) for peer in spec.peers]
+    if spec.kind is TransferKind.FETCH:
+        agents[spec.client].start_fetch_session(
+            spec.transfer_id, spec.size_bytes, peer_ids, label=spec.label
+        )
+        return
+    multicast_group = None
+    if spec.kind is TransferKind.REPLICATE and len(spec.peers) > 1:
+        network.create_multicast_group(spec.transfer_id, spec.client, list(spec.peers))
+        multicast_group = spec.transfer_id
+    agents[spec.client].start_push_session(
+        spec.transfer_id,
+        spec.size_bytes,
+        peer_ids,
+        multicast_group=multicast_group,
+        label=spec.label,
+    )
+
+
+def _start_tcp_transfer(env: _Environment, spec: TransferSpec) -> None:
+    network = env.network
+    agents = env.tcp_agents
+    flow_base = spec.transfer_id * 1000
+    if spec.kind is TransferKind.UNICAST:
+        agents[spec.client].start_flow(
+            flow_base,
+            network.host_id(spec.peers[0]),
+            spec.size_bytes,
+            label=spec.label,
+            register=False,
+            on_complete=_registry_completion(env, spec),
+        )
+        env.registry.record_start(
+            spec.transfer_id, spec.size_bytes, env.sim.now, protocol="tcp", label=spec.label
+        )
+        return
+    if spec.kind is TransferKind.REPLICATE:
+        start_replicated_push(
+            env.sim,
+            agents[spec.client],
+            [network.host_id(peer) for peer in spec.peers],
+            spec.size_bytes,
+            transfer_id=spec.transfer_id,
+            registry=env.registry,
+            label=spec.label,
+            flow_id_base=flow_base,
+        )
+        return
+    if spec.kind is TransferKind.FETCH:
+        start_multi_source_fetch(
+            env.sim,
+            [agents[peer] for peer in spec.peers],
+            network.host_id(spec.client),
+            spec.size_bytes,
+            transfer_id=spec.transfer_id,
+            registry=env.registry,
+            label=spec.label,
+            flow_id_base=flow_base,
+        )
+        return
+    raise ValueError(f"unsupported transfer kind {spec.kind!r}")
+
+
+def _registry_completion(env: _Environment, spec: TransferSpec):
+    def _done(now: float) -> None:
+        env.registry.record_completion(spec.transfer_id, now)
+
+    return _done
+
+
+def offer_transfers(env: _Environment, protocol: Protocol, transfers: Sequence[TransferSpec]) -> None:
+    """Schedule every transfer of the workload at its start time."""
+    for spec in transfers:
+        if protocol is Protocol.POLYRAPTOR:
+            env.sim.schedule_at(spec.start_time, _start_polyraptor_transfer, env, spec)
+        else:
+            env.sim.schedule_at(spec.start_time, _start_tcp_transfer, env, spec)
+
+
+def run_transfers(
+    protocol: Protocol,
+    config: ExperimentConfig,
+    transfers: Sequence[TransferSpec],
+    topology: Optional[Topology] = None,
+    trace: Optional[TraceLog] = None,
+    polyraptor_config: Optional[PolyraptorConfig] = None,
+) -> RunResult:
+    """Run one workload under one protocol and return the collected results."""
+    env = build_environment(protocol, config, topology=topology, trace=trace,
+                            polyraptor_config=polyraptor_config)
+    offer_transfers(env, protocol, transfers)
+    wall_start = time.perf_counter()
+    env.sim.run(until=config.max_sim_time_s)
+    wall_time = time.perf_counter() - wall_start
+    return RunResult(
+        protocol=protocol,
+        registry=env.registry,
+        sim_time_s=env.sim.now,
+        wall_time_s=wall_time,
+        events_processed=env.sim.events_processed,
+        trimmed_packets=env.network.total_trimmed_packets,
+        dropped_packets=env.network.total_dropped_packets,
+        num_hosts=env.network.num_hosts,
+        trace=trace,
+    )
+
+
+def run_unicast_demo(
+    protocol: Protocol = Protocol.POLYRAPTOR,
+    object_bytes: int = 1_000_000,
+    config: Optional[ExperimentConfig] = None,
+) -> RunResult:
+    """A one-transfer demonstration run (used by the quickstart example and docs)."""
+    cfg = config or ExperimentConfig.quick()
+    topology = FatTreeTopology(cfg.fattree_k)
+    hosts = topology.hosts
+    spec = TransferSpec(
+        transfer_id=1,
+        kind=TransferKind.UNICAST,
+        client=hosts[0],
+        peers=(hosts[-1],),
+        size_bytes=object_bytes,
+        start_time=0.0,
+        label="foreground",
+    )
+    return run_transfers(protocol, cfg, [spec], topology=topology)

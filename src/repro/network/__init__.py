@@ -1,0 +1,38 @@
+"""Packet-level data-centre network substrate.
+
+The substrate models exactly what the paper's OMNeT++ evaluation relies on:
+
+* **FatTree / leaf-spine topologies** with uniform link speeds and delays
+  (:mod:`repro.network.topology`);
+* **switches** with either NDP-style two-queue ports (bounded data queue +
+  priority header queue + packet trimming) or classic drop-tail ports
+  (:mod:`repro.network.switch`, :mod:`repro.network.queues`);
+* **routing** with per-flow ECMP or per-packet spraying across all equal-cost
+  next hops (:mod:`repro.network.routing`);
+* **native multicast**: group tables in switches and shared-tree replication
+  (:mod:`repro.network.multicast`);
+* **hosts** with a single NIC that dispatches packets to registered transport
+  protocols (:mod:`repro.network.host`).
+
+A :class:`~repro.network.network.Network` object wires all of this to one
+:class:`~repro.sim.engine.Simulator` instance.
+"""
+
+from repro.network.network import Network, NetworkConfig
+from repro.network.packet import Packet, PacketKind
+from repro.network.queues import DropTailQueue, TrimmingQueue
+from repro.network.routing import RoutingMode
+from repro.network.topology import FatTreeTopology, LeafSpineTopology, Topology
+
+__all__ = [
+    "Network",
+    "NetworkConfig",
+    "Packet",
+    "PacketKind",
+    "DropTailQueue",
+    "TrimmingQueue",
+    "RoutingMode",
+    "Topology",
+    "FatTreeTopology",
+    "LeafSpineTopology",
+]

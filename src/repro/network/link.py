@@ -1,0 +1,103 @@
+"""Egress ports and links.
+
+A :class:`Port` is an egress interface of a node: it owns a queue discipline
+and a transmitter that serialises one packet at a time at the link rate.  A
+:class:`Link` is the unidirectional wire between a port and the remote node:
+it only adds propagation delay.  Full-duplex links are modelled as two
+independent ports/links, which is how data-centre Ethernet behaves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Simulator
+from repro.utils.units import serialization_delay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.network.node import Node
+    from repro.network.queues import QueueDiscipline
+    from repro.network.packet import Packet
+
+
+class Link:
+    """A unidirectional wire: fixed propagation delay towards a destination node."""
+
+    def __init__(self, sim: Simulator, dst_node: "Node", delay_s: float, name: str = "") -> None:
+        if delay_s < 0:
+            raise ValueError("link delay cannot be negative")
+        self._sim = sim
+        self.dst_node = dst_node
+        self.delay_s = delay_s
+        self.name = name or f"link->{dst_node.name}"
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+
+    def carry(self, packet: "Packet") -> None:
+        """Propagate a fully serialised packet to the remote node."""
+        self._sim.schedule(self.delay_s, self._deliver, packet)
+
+    def _deliver(self, packet: "Packet") -> None:
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size_bytes
+        packet.hops += 1
+        self.dst_node.receive(packet)
+
+
+class Port:
+    """An egress port: queue discipline + serialiser + attached link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: "Node",
+        queue: "QueueDiscipline",
+        rate_bps: float,
+        link: Link,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("port rate must be positive")
+        self._sim = sim
+        self.owner = owner
+        self.queue = queue
+        self.rate_bps = rate_bps
+        self.link = link
+        self.name = name or f"{owner.name}->{link.dst_node.name}"
+        self._transmitting = False
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+
+    @property
+    def remote_node(self) -> "Node":
+        """The node at the far end of this port's link."""
+        return self.link.dst_node
+
+    @property
+    def busy(self) -> bool:
+        """Whether the transmitter is currently serialising a packet."""
+        return self._transmitting
+
+    def send(self, packet: "Packet") -> bool:
+        """Queue a packet for transmission; returns False if it was dropped."""
+        accepted = self.queue.enqueue(packet)
+        if accepted is None:
+            return False
+        if not self._transmitting:
+            self._start_next_transmission()
+        return True
+
+    def _start_next_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        delay = serialization_delay(packet.size_bytes, self.rate_bps)
+        self._sim.schedule(delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: "Packet") -> None:
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size_bytes
+        self.link.carry(packet)
+        self._start_next_transmission()

@@ -1,0 +1,226 @@
+"""Assembly of a simulated network from a topology description.
+
+:class:`Network` instantiates hosts, switches, ports and links on a single
+simulator, computes routing tables, and manages multicast groups.  It is the
+object experiments interact with: they look up hosts, attach transport
+endpoints to them, install multicast groups, and read aggregate statistics
+(trims, drops, delivered bytes) at the end of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.network.host import Host
+from repro.network.link import Link, Port
+from repro.network.multicast import MulticastGroup, build_multicast_tree, group_table_entries
+from repro.network.queues import DropTailQueue, TrimmingQueue
+from repro.network.routing import RoutingMode, RoutingTable
+from repro.network.switch import Switch
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import TraceLog
+from repro.utils.units import GBPS, MICROSECOND
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Link and switch configuration shared by the whole fabric.
+
+    The defaults mirror the paper's evaluation: 1 Gbps links, 10 microsecond
+    per-link delay, NDP-style trimming switches with shallow (8 packet) data
+    queues.  The TCP baseline overrides ``switch_queue`` to ``"droptail"`` and
+    ``routing_mode`` to per-flow ECMP.
+    """
+
+    link_rate_bps: float = 1 * GBPS
+    link_delay_s: float = 10 * MICROSECOND
+    switch_queue: str = "trimming"
+    data_queue_capacity_packets: int = 8
+    header_queue_capacity_packets: int = 1000
+    droptail_capacity_packets: int = 100
+    routing_mode: RoutingMode = RoutingMode.PACKET_SPRAY
+
+    def __post_init__(self) -> None:
+        check_positive("link_rate_bps", self.link_rate_bps)
+        if self.link_delay_s < 0:
+            raise ValueError("link_delay_s cannot be negative")
+        if self.switch_queue not in ("trimming", "droptail"):
+            raise ValueError("switch_queue must be 'trimming' or 'droptail'")
+        check_positive("data_queue_capacity_packets", self.data_queue_capacity_packets)
+        check_positive("header_queue_capacity_packets", self.header_queue_capacity_packets)
+        check_positive("droptail_capacity_packets", self.droptail_capacity_packets)
+
+
+class Network:
+    """A fully wired simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[NetworkConfig] = None,
+        streams: Optional[RandomStreams] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.streams = streams or RandomStreams(master_seed=0)
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+
+        self.routing_table = RoutingTable(topology)
+        self.hosts: list[Host] = []
+        self._host_by_name: dict[str, Host] = {}
+        self.switches: dict[str, Switch] = {}
+        self._groups: dict[int, MulticastGroup] = {}
+        self._next_node_id = 0
+
+        self._build_nodes()
+        self._build_links()
+        self._install_routes()
+
+    # Construction --------------------------------------------------------------
+
+    def _new_queue(self):
+        if self.config.switch_queue == "trimming":
+            return TrimmingQueue(
+                data_capacity_packets=self.config.data_queue_capacity_packets,
+                header_capacity_packets=self.config.header_queue_capacity_packets,
+            )
+        return DropTailQueue(capacity_packets=self.config.droptail_capacity_packets)
+
+    def _build_nodes(self) -> None:
+        for host_name in self.topology.hosts:
+            host = Host(self.sim, self._next_node_id, host_name, trace=self.trace)
+            self._next_node_id += 1
+            self.hosts.append(host)
+            self._host_by_name[host_name] = host
+        for switch_name in self.topology.switches:
+            switch = Switch(
+                self.sim,
+                self._next_node_id,
+                switch_name,
+                routing_mode=self.config.routing_mode,
+                rng=self.streams.stream(f"switch.{switch_name}"),
+                trace=self.trace,
+            )
+            self._next_node_id += 1
+            self.switches[switch_name] = switch
+
+    def _node_by_name(self, name: str) -> Union[Host, Switch]:
+        if name in self._host_by_name:
+            return self._host_by_name[name]
+        return self.switches[name]
+
+    def _build_links(self) -> None:
+        for name_a, name_b in self.topology.graph.edges:
+            self._wire_direction(name_a, name_b)
+            self._wire_direction(name_b, name_a)
+
+    def _wire_direction(self, src_name: str, dst_name: str) -> None:
+        src = self._node_by_name(src_name)
+        dst = self._node_by_name(dst_name)
+        link = Link(self.sim, dst, self.config.link_delay_s, name=f"{src_name}->{dst_name}")
+        if isinstance(src, Host):
+            # A host never trims or drops its own traffic: the NIC queue is a
+            # deep FIFO and senders pace themselves (initial window at line
+            # rate, then pull-clocked / cwnd-clocked).
+            queue = DropTailQueue(capacity_packets=100_000)
+        else:
+            queue = self._new_queue()
+        port = Port(
+            self.sim,
+            owner=src,
+            queue=queue,
+            rate_bps=self.config.link_rate_bps,
+            link=link,
+            name=f"{src_name}->{dst_name}",
+        )
+        if isinstance(src, Host):
+            src.attach_nic(port)
+        else:
+            src.add_port(dst_name, port)
+
+    def _install_routes(self) -> None:
+        for switch_name, switch in self.switches.items():
+            for host in self.hosts:
+                hops = self.routing_table.next_hops(switch_name, host.name)
+                if hops:
+                    switch.set_next_hops(host.node_id, hops)
+
+    # Lookup ----------------------------------------------------------------------
+
+    def host(self, key: Union[int, str]) -> Host:
+        """Return a host by integer id or by name."""
+        if isinstance(key, int):
+            return self.hosts[key]
+        return self._host_by_name[key]
+
+    def host_id(self, name: str) -> int:
+        """Return the integer id of a host name."""
+        return self._host_by_name[name].node_id
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of hosts in the network."""
+        return len(self.hosts)
+
+    @property
+    def host_names(self) -> list[str]:
+        """Names of all hosts, ordered by host id."""
+        return [host.name for host in self.hosts]
+
+    # Multicast ---------------------------------------------------------------------
+
+    def create_multicast_group(
+        self, group_id: int, source_host: str, receiver_hosts: list[str]
+    ) -> MulticastGroup:
+        """Install a multicast group: build its tree and program every switch."""
+        if group_id in self._groups:
+            raise ValueError(f"multicast group {group_id} already exists")
+        group = build_multicast_tree(
+            self.topology, self.routing_table, group_id, source_host, receiver_hosts
+        )
+        for node_name, children in group_table_entries(group).items():
+            if node_name in self.switches:
+                self.switches[node_name].set_group_ports(group_id, children)
+        for receiver in receiver_hosts:
+            self._host_by_name[receiver].join_group(group_id)
+        self._groups[group_id] = group
+        return group
+
+    def remove_multicast_group(self, group_id: int) -> None:
+        """Uninstall a multicast group from switches and receivers."""
+        group = self._groups.pop(group_id, None)
+        if group is None:
+            return
+        for node_name in {parent for parent, _ in group.tree_edges}:
+            if node_name in self.switches:
+                self.switches[node_name].set_group_ports(group_id, ())
+        for receiver in group.receiver_hosts:
+            self._host_by_name[receiver].leave_group(group_id)
+
+    def multicast_group(self, group_id: int) -> MulticastGroup:
+        """Return an installed group (KeyError if unknown)."""
+        return self._groups[group_id]
+
+    # Aggregate statistics -------------------------------------------------------------
+
+    @property
+    def total_trimmed_packets(self) -> int:
+        """Packets trimmed across every switch queue in the fabric."""
+        return sum(switch.total_trimmed for switch in self.switches.values())
+
+    @property
+    def total_dropped_packets(self) -> int:
+        """Packets dropped across every switch queue in the fabric."""
+        return sum(switch.total_dropped for switch in self.switches.values())
+
+    @property
+    def total_forwarded_packets(self) -> int:
+        """Packets forwarded by all switches."""
+        return sum(switch.forwarded_packets for switch in self.switches.values())

@@ -1,0 +1,26 @@
+"""Base class shared by switches and hosts."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.packet import Packet
+
+
+class Node:
+    """Anything with a name that can receive packets."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+
+    def receive(self, packet: "Packet") -> None:
+        """Handle a packet arriving from a link (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,132 @@
+"""Routing: equal-cost next-hop computation and next-hop selection policies.
+
+The routing table is computed once from the topology: for every switch and
+every destination host, the set of neighbour nodes that lie on *some*
+shortest path to that host.  At forwarding time a switch picks one next hop
+according to the configured :class:`RoutingMode`:
+
+* ``ECMP_FLOW``     -- a hash of (flow id, src, dst) picks a consistent next
+  hop per flow; this is how the TCP baseline is routed (per-flow ECMP).
+* ``PACKET_SPRAY``  -- a uniformly random next hop per packet; this is the
+  multipath symbol spraying Polyraptor relies on.
+* ``SINGLE_PATH``   -- always the first next hop; useful for debugging and
+  for constructing deterministic multicast trees.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import networkx as nx
+
+from repro.network.topology import Topology
+
+
+class RoutingMode(str, Enum):
+    """Next-hop selection policy."""
+
+    ECMP_FLOW = "ecmp_flow"
+    PACKET_SPRAY = "packet_spray"
+    SINGLE_PATH = "single_path"
+
+
+class RoutingTable:
+    """Per-switch equal-cost next hops toward every host."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        #: next_hops[switch_name][host_name] -> tuple of neighbour names
+        self._next_hops: dict[str, dict[str, tuple[str, ...]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        graph = self._topology.graph
+        switch_names = set(self._topology.switches)
+        for switch in switch_names:
+            self._next_hops[switch] = {}
+        for host in self._topology.hosts:
+            distances = nx.single_source_shortest_path_length(graph, host)
+            for switch in switch_names:
+                switch_distance = distances.get(switch)
+                if switch_distance is None:
+                    continue
+                hops = tuple(
+                    sorted(
+                        neighbour
+                        for neighbour in graph.neighbors(switch)
+                        if distances.get(neighbour, float("inf")) == switch_distance - 1
+                    )
+                )
+                self._next_hops[switch][host] = hops
+
+    def next_hops(self, switch_name: str, host_name: str) -> tuple[str, ...]:
+        """All equal-cost next hops from ``switch_name`` toward ``host_name``."""
+        try:
+            return self._next_hops[switch_name][host_name]
+        except KeyError as error:
+            raise KeyError(
+                f"no route from {switch_name!r} to {host_name!r}"
+            ) from error
+
+    def path(self, src_host: str, dst_host: str, tie_break: int = 0) -> list[str]:
+        """Return one deterministic shortest path between two hosts.
+
+        ``tie_break`` selects among equal-cost next hops at every step, so
+        different values yield different (but still shortest) paths; multicast
+        tree construction uses the group id as the tie-break to spread trees
+        across the fabric.
+        """
+        if src_host == dst_host:
+            return [src_host]
+        graph = self._topology.graph
+        path = [src_host]
+        current = next(iter(graph.neighbors(src_host)))  # host's single uplink
+        path.append(current)
+        while current != dst_host:
+            hops = self.next_hops(current, dst_host)
+            if not hops:
+                raise KeyError(f"no route from {current!r} to {dst_host!r}")
+            if hops[0] == dst_host or dst_host in hops:
+                chosen = dst_host
+            else:
+                chosen = hops[(tie_break + len(path)) % len(hops)]
+            path.append(chosen)
+            current = chosen
+        return path
+
+
+def stable_hash(*parts: int) -> int:
+    """A deterministic integer hash (Python's ``hash`` is salted per process)."""
+    value = 0xCBF29CE484222325
+    for part in parts:
+        for byte in int(part).to_bytes(8, "little", signed=True):
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def select_next_hop(
+    mode: RoutingMode,
+    hops: tuple[str, ...],
+    packet_flow_id: int,
+    packet_src: int,
+    packet_dst: int,
+    spray_draw: int,
+) -> str:
+    """Pick one next hop out of an equal-cost set according to ``mode``.
+
+    ``spray_draw`` is a pre-drawn random integer supplied by the switch (so
+    the randomness source stays under the experiment's seed control).
+    """
+    if not hops:
+        raise ValueError("cannot select a next hop from an empty set")
+    if len(hops) == 1:
+        return hops[0]
+    if mode is RoutingMode.SINGLE_PATH:
+        return hops[0]
+    if mode is RoutingMode.ECMP_FLOW:
+        index = stable_hash(packet_flow_id, packet_src, packet_dst) % len(hops)
+        return hops[index]
+    if mode is RoutingMode.PACKET_SPRAY:
+        return hops[spray_draw % len(hops)]
+    raise ValueError(f"unknown routing mode {mode!r}")

@@ -1,0 +1,176 @@
+"""Switch models.
+
+A :class:`Switch` forwards unicast packets toward their destination host via
+the routing table (one of several equal-cost next hops, chosen by the
+configured routing mode) and replicates multicast packets onto every egress
+port registered for the packet's group.
+
+Two factory helpers configure the per-port queue discipline:
+
+* trimming switches (NDP-style; Polyraptor runs) via
+  :class:`repro.network.queues.TrimmingQueue`;
+* drop-tail switches (TCP baseline) via
+  :class:`repro.network.queues.DropTailQueue`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.network.link import Port
+from repro.network.node import Node
+from repro.network.packet import Packet
+from repro.network.queues import DropTailQueue, TrimmingQueue
+from repro.network.routing import RoutingMode, select_next_hop
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+#: Signature of the per-port queue factory used when building a switch.
+QueueFactory = Callable[[], object]
+
+
+class Switch(Node):
+    """A store-and-forward switch with per-destination equal-cost next hops."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        name: str,
+        routing_mode: RoutingMode,
+        rng: random.Random,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        super().__init__(sim, node_id, name)
+        self.routing_mode = routing_mode
+        self._rng = rng
+        self._trace = trace if trace is not None else TraceLog(enabled=False)
+        #: egress ports keyed by the remote node's name
+        self._ports: dict[str, Port] = {}
+        #: unicast next hops: dst host id -> tuple of remote node names
+        self._next_hops: dict[int, tuple[str, ...]] = {}
+        #: multicast egress sets: group id -> tuple of remote node names
+        self._group_ports: dict[int, tuple[str, ...]] = {}
+        self.forwarded_packets = 0
+        self.dropped_no_route = 0
+
+    # Wiring -----------------------------------------------------------------
+
+    def add_port(self, remote_name: str, port: Port) -> None:
+        """Register the egress port that reaches ``remote_name``."""
+        self._ports[remote_name] = port
+
+    def port_to(self, remote_name: str) -> Port:
+        """Return the egress port toward a neighbour (KeyError if not wired)."""
+        return self._ports[remote_name]
+
+    @property
+    def ports(self) -> dict[str, Port]:
+        """All egress ports keyed by remote node name."""
+        return dict(self._ports)
+
+    def set_next_hops(self, dst_host_id: int, remote_names: tuple[str, ...]) -> None:
+        """Install the equal-cost next-hop set toward a destination host."""
+        self._next_hops[dst_host_id] = remote_names
+
+    def set_group_ports(self, group_id: int, remote_names: tuple[str, ...]) -> None:
+        """Install the multicast egress set for a group."""
+        self._group_ports[group_id] = tuple(remote_names)
+
+    def group_ports(self, group_id: int) -> tuple[str, ...]:
+        """Return the multicast egress set for a group (empty if not a member)."""
+        return self._group_ports.get(group_id, ())
+
+    # Forwarding --------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Forward an arriving packet (unicast or multicast)."""
+        if packet.is_multicast:
+            self._forward_multicast(packet)
+        else:
+            self._forward_unicast(packet)
+
+    def _forward_unicast(self, packet: Packet) -> None:
+        hops = self._next_hops.get(packet.dst)
+        if not hops:
+            self.dropped_no_route += 1
+            self._trace.record(self.sim.now, "switch.no_route", switch=self.name, dst=packet.dst)
+            return
+        remote = select_next_hop(
+            self.routing_mode,
+            hops,
+            packet_flow_id=packet.flow_id,
+            packet_src=packet.src,
+            packet_dst=packet.dst if packet.dst is not None else -1,
+            spray_draw=self._rng.getrandbits(30),
+        )
+        self._transmit(packet, remote)
+
+    def _forward_multicast(self, packet: Packet) -> None:
+        remotes = self._group_ports.get(packet.multicast_group, ())
+        if not remotes:
+            self.dropped_no_route += 1
+            self._trace.record(
+                self.sim.now, "switch.no_group", switch=self.name, group=packet.multicast_group
+            )
+            return
+        for index, remote in enumerate(remotes):
+            copy = packet if index == len(remotes) - 1 else packet.copy_for_replication()
+            self._transmit(copy, remote)
+
+    def _transmit(self, packet: Packet, remote_name: str) -> None:
+        port = self._ports.get(remote_name)
+        if port is None:
+            self.dropped_no_route += 1
+            self._trace.record(
+                self.sim.now, "switch.no_port", switch=self.name, remote=remote_name
+            )
+            return
+        self.forwarded_packets += 1
+        queue = port.queue
+        trimmed_before = getattr(queue, "trimmed_packets", 0)
+        dropped_before = getattr(queue, "dropped_packets", 0)
+        accepted = port.send(packet)
+        if getattr(queue, "trimmed_packets", 0) > trimmed_before:
+            self._trace.record(
+                self.sim.now, "switch.trim", switch=self.name, port=port.name,
+                packet=packet.packet_id, flow=packet.flow_id,
+            )
+        if not accepted or getattr(queue, "dropped_packets", 0) > dropped_before:
+            self._trace.record(
+                self.sim.now, "switch.drop", switch=self.name, port=port.name,
+                packet=packet.packet_id, flow=packet.flow_id,
+            )
+
+    # Statistics ---------------------------------------------------------------
+
+    @property
+    def total_trimmed(self) -> int:
+        """Packets trimmed across all this switch's egress queues."""
+        return sum(getattr(port.queue, "trimmed_packets", 0) for port in self._ports.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Packets dropped across all this switch's egress queues."""
+        return sum(getattr(port.queue, "dropped_packets", 0) for port in self._ports.values())
+
+
+def trimming_queue_factory(
+    data_capacity_packets: int = 8,
+    header_capacity_packets: int = 1000,
+) -> QueueFactory:
+    """Return a factory producing NDP-style trimming queues."""
+    def factory() -> TrimmingQueue:
+        return TrimmingQueue(
+            data_capacity_packets=data_capacity_packets,
+            header_capacity_packets=header_capacity_packets,
+        )
+    return factory
+
+
+def droptail_queue_factory(capacity_packets: int = 100) -> QueueFactory:
+    """Return a factory producing classic drop-tail queues."""
+    def factory() -> DropTailQueue:
+        return DropTailQueue(capacity_packets=capacity_packets)
+    return factory

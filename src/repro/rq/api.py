@@ -1,0 +1,47 @@
+"""Convenience one-shot helpers on top of the object encoder/decoder.
+
+These are what the examples and most tests use; the transport protocol uses
+the lower-level :class:`~repro.rq.block.ObjectEncoder` /
+:class:`~repro.rq.block.ObjectDecoder` directly so that it can generate repair
+symbols on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rq.block import (
+    DEFAULT_MAX_SYMBOLS_PER_BLOCK,
+    DEFAULT_SYMBOL_SIZE,
+    EncodedSymbol,
+    ObjectDecoder,
+    ObjectEncoder,
+    ObjectTransmissionInfo,
+)
+
+
+def encode_object(
+    data: bytes,
+    symbol_size: int = DEFAULT_SYMBOL_SIZE,
+    repair_symbols_per_block: int = 0,
+    max_symbols_per_block: int = DEFAULT_MAX_SYMBOLS_PER_BLOCK,
+) -> tuple[ObjectTransmissionInfo, list[EncodedSymbol]]:
+    """Encode ``data`` and return its OTI plus a list of encoding symbols.
+
+    The returned list contains every source symbol followed by
+    ``repair_symbols_per_block`` repair symbols per block.
+    """
+    encoder = ObjectEncoder(data, symbol_size=symbol_size,
+                            max_symbols_per_block=max_symbols_per_block)
+    symbols = list(encoder.source_symbols())
+    for block_number in range(encoder.num_blocks):
+        k = encoder.oti.block_symbol_count(block_number)
+        symbols.extend(encoder.repair_symbols(block_number, k, repair_symbols_per_block))
+    return encoder.oti, symbols
+
+
+def decode_object(oti: ObjectTransmissionInfo, symbols: Iterable[EncodedSymbol]) -> bytes:
+    """Decode an object from its OTI and any sufficient set of encoding symbols."""
+    decoder = ObjectDecoder(oti)
+    decoder.add_symbols(symbols)
+    return decoder.decode()

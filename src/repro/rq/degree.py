@@ -1,0 +1,79 @@
+"""The LT degree distribution.
+
+``deg(v)`` maps a 20-bit pseudo-random value ``v`` to an encoding-symbol
+degree, following the shape of RFC 6330 section 5.3.5.2: degree 2 dominates,
+low degrees are common and the maximum degree is 30.  The cumulative table
+below reproduces the RFC's distribution (any small numeric deviation is
+harmless because this package controls both encoder and decoder; the
+distribution's shape is what drives decoding performance).
+"""
+
+from __future__ import annotations
+
+#: Cumulative degree table: ``DEGREE_TABLE[d]`` is the threshold f[d] such that
+#: the returned degree is the smallest d with v < f[d].  Index 0 is unused.
+DEGREE_TABLE: tuple[int, ...] = (
+    0,
+    5243,
+    529531,
+    704294,
+    791675,
+    844104,
+    879057,
+    904023,
+    922747,
+    937311,
+    948962,
+    958494,
+    966438,
+    973160,
+    978921,
+    983914,
+    988283,
+    992138,
+    995565,
+    998631,
+    1001391,
+    1003887,
+    1006157,
+    1008229,
+    1010129,
+    1011876,
+    1013490,
+    1014983,
+    1016370,
+    1017662,
+    1048576,
+)
+
+#: ``v`` is drawn from ``[0, 2**20)``.
+DEGREE_RANDOM_RANGE = 1 << 20
+
+MAX_DEGREE = len(DEGREE_TABLE) - 1
+
+
+def deg(v: int, w: int) -> int:
+    """Map a random value ``v`` in [0, 2^20) to an LT degree.
+
+    The returned degree is additionally capped at ``w - 2`` (the number of LT
+    intermediate symbols minus two), as in RFC 6330, so that small blocks
+    never request a degree larger than the available symbols.
+    """
+    if not 0 <= v < DEGREE_RANDOM_RANGE:
+        raise ValueError(f"v must be in [0, {DEGREE_RANDOM_RANGE}), got {v}")
+    for degree in range(1, MAX_DEGREE + 1):
+        if v < DEGREE_TABLE[degree]:
+            return min(degree, w - 2)
+    raise AssertionError("unreachable: DEGREE_TABLE must end at DEGREE_RANDOM_RANGE")
+
+
+def degree_probabilities() -> dict[int, float]:
+    """Return the probability mass function implied by :data:`DEGREE_TABLE`.
+
+    Exposed for tests and for the codec documentation; the values sum to 1.
+    """
+    pmf: dict[int, float] = {}
+    for degree in range(1, MAX_DEGREE + 1):
+        mass = DEGREE_TABLE[degree] - DEGREE_TABLE[degree - 1]
+        pmf[degree] = mass / DEGREE_RANDOM_RANGE
+    return pmf

@@ -1,0 +1,136 @@
+"""GF(256) arithmetic used by the HDPC rows and the decoder.
+
+The field is GF(2^8) defined by the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D) with generator alpha = 2, matching
+RFC 6330 section 5.7.  Addition is XOR; multiplication uses exp/log tables.
+
+The module exposes scalar operations plus numpy-vectorised helpers used by
+the Gaussian-elimination solver (scaling whole rows, scaling a batch of rows
+by per-row factors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PRIMITIVE_POLYNOMIAL = 0x11D
+_FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Build exp/log tables for GF(256) with generator alpha = 2."""
+    exp = np.zeros(510, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLYNOMIAL
+    # Duplicate the exp table so that exp[log(a) + log(b)] never needs a modulo.
+    for power in range(255, 510):
+        exp[power] = exp[power - 255]
+    log[0] = 0  # never used for zero operands; guarded explicitly
+    return exp, log
+
+
+OCT_EXP, OCT_LOG = _build_tables()
+
+#: alpha (the field generator) as an integer, exposed for the HDPC construction.
+ALPHA = 2
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(OCT_EXP[int(OCT_LOG[a]) + int(OCT_LOG[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b`` (``b`` must be non-zero)."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(OCT_EXP[(int(OCT_LOG[a]) - int(OCT_LOG[b])) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse of a non-zero field element."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(OCT_EXP[(255 - int(OCT_LOG[a])) % 255])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise a field element to an integer power (exponent may exceed 255)."""
+    if a == 0:
+        return 0 if exponent != 0 else 1
+    return int(OCT_EXP[(int(OCT_LOG[a]) * exponent) % 255])
+
+
+def alpha_power(exponent: int) -> int:
+    """Return alpha**exponent, the conventional HDPC coefficient."""
+    return int(OCT_EXP[exponent % 255])
+
+
+def gf_scale_vector(vector: np.ndarray, factor: int) -> np.ndarray:
+    """Return ``factor * vector`` element-wise over GF(256).
+
+    ``vector`` must be a uint8 numpy array; the result is a new array.
+    """
+    if factor == 0:
+        return np.zeros_like(vector)
+    if factor == 1:
+        return vector.copy()
+    result = np.zeros_like(vector)
+    nonzero = vector != 0
+    if np.any(nonzero):
+        logs = OCT_LOG[vector[nonzero]] + int(OCT_LOG[factor])
+        result[nonzero] = OCT_EXP[logs]
+    return result
+
+
+def gf_scale_rows(rows: np.ndarray, factors: np.ndarray) -> np.ndarray:
+    """Scale each row of ``rows`` by the corresponding entry of ``factors``.
+
+    Used by the solver to eliminate a pivot column from many rows at once:
+    ``rows[i] <- factors[i] * pivot_row`` is computed for every i in one
+    vectorised pass.
+
+    Args:
+        rows: (n, m) uint8 array (each row will be scaled independently).
+        factors: (n,) uint8 array of per-row scale factors.
+
+    Returns:
+        A new (n, m) uint8 array.
+    """
+    if rows.ndim != 2:
+        raise ValueError("rows must be a 2-D array")
+    result = np.zeros_like(rows)
+    nonzero_factor = factors != 0
+    if not np.any(nonzero_factor):
+        return result
+    active_rows = rows[nonzero_factor]
+    active_factors = factors[nonzero_factor]
+    nonzero_cells = active_rows != 0
+    factor_logs = OCT_LOG[active_factors].astype(np.int64)
+    logs = OCT_LOG[active_rows] + factor_logs[:, None]
+    scaled = np.where(nonzero_cells, OCT_EXP[logs], 0).astype(np.uint8)
+    result[nonzero_factor] = scaled
+    return result
+
+
+def gf_matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Multiply a GF(256) matrix by a GF(256) column vector (both uint8)."""
+    result = np.zeros(matrix.shape[0], dtype=np.uint8)
+    for row_index in range(matrix.shape[0]):
+        accumulator = 0
+        row = matrix[row_index]
+        nonzero_columns = np.nonzero(row)[0]
+        for column in nonzero_columns:
+            accumulator ^= gf_mul(int(row[column]), int(vector[column]))
+        result[row_index] = accumulator
+    return result

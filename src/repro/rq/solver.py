@@ -1,0 +1,117 @@
+"""Gaussian elimination over GF(256).
+
+The solver is shared by the encoder (square system: constraint matrix ->
+intermediate symbols) and the decoder (overdetermined system: received
+encoding symbols + static constraints -> intermediate symbols).  Row
+operations are vectorised with numpy so that the cost is dominated by
+``O(L^2)`` row-XOR/scale operations rather than Python-level loops over
+matrix cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rq.gf256 import gf_inv, gf_scale_rows, gf_scale_vector
+
+
+class SingularMatrixError(ValueError):
+    """Raised when the system does not have full column rank."""
+
+
+def gaussian_rank(matrix: np.ndarray) -> int:
+    """Return the rank of ``matrix`` over GF(256) (the input is not modified)."""
+    work = matrix.astype(np.uint8).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(rank, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+        pivot_value = int(work[rank, col])
+        if pivot_value != 1:
+            work[rank] = gf_scale_vector(work[rank], gf_inv(pivot_value))
+        column = work[rank + 1 :, col]
+        targets = np.nonzero(column)[0]
+        if targets.size:
+            factors = column[targets]
+            work[rank + 1 + targets] ^= gf_scale_rows(
+                np.tile(work[rank], (targets.size, 1)), factors
+            )
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def solve(
+    matrix: np.ndarray,
+    values: np.ndarray,
+    num_unknowns: Optional[int] = None,
+) -> np.ndarray:
+    """Solve ``matrix . X = values`` for X over GF(256).
+
+    Args:
+        matrix: (n, L) uint8 coefficient matrix; ``n >= L`` is required.
+        values: (n, T) uint8 right-hand sides (one row of T bytes per equation).
+        num_unknowns: L; defaults to ``matrix.shape[1]``.
+
+    Returns:
+        (L, T) uint8 array of solved unknowns.
+
+    Raises:
+        SingularMatrixError: if the system does not have full column rank.
+    """
+    work = matrix.astype(np.uint8).copy()
+    rhs = values.astype(np.uint8).copy()
+    rows, cols = work.shape
+    unknowns = cols if num_unknowns is None else num_unknowns
+    if rhs.shape[0] != rows:
+        raise ValueError(f"matrix has {rows} rows but values has {rhs.shape[0]}")
+    if rows < unknowns:
+        raise SingularMatrixError(
+            f"not enough equations: {rows} rows for {unknowns} unknowns"
+        )
+
+    pivot_column_of_row: list[int] = []
+    rank = 0
+    for col in range(unknowns):
+        pivot = None
+        for row in range(rank, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            raise SingularMatrixError(f"no pivot available for column {col}")
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+            rhs[[rank, pivot]] = rhs[[pivot, rank]]
+        pivot_value = int(work[rank, col])
+        if pivot_value != 1:
+            inverse = gf_inv(pivot_value)
+            work[rank] = gf_scale_vector(work[rank], inverse)
+            rhs[rank] = gf_scale_vector(rhs[rank], inverse)
+        # Eliminate the pivot column from every other row (Gauss-Jordan) so the
+        # solution can be read off directly at the end.
+        column = work[:, col].copy()
+        column[rank] = 0
+        targets = np.nonzero(column)[0]
+        if targets.size:
+            factors = column[targets]
+            work[targets] ^= gf_scale_rows(np.tile(work[rank], (targets.size, 1)), factors)
+            rhs[targets] ^= gf_scale_rows(np.tile(rhs[rank], (targets.size, 1)), factors)
+        pivot_column_of_row.append(col)
+        rank += 1
+
+    solution = np.zeros((unknowns, rhs.shape[1]), dtype=np.uint8)
+    for row, col in enumerate(pivot_column_of_row):
+        solution[col] = rhs[row]
+    return solution

@@ -1,0 +1,100 @@
+"""The LT tuple generator.
+
+For every encoding symbol identifier (ESI / ISI) ``X`` the generator derives a
+tuple ``(d, a, b, d1, a1, b1)`` that determines which intermediate symbols are
+XORed together to form the encoding symbol:
+
+* ``d`` neighbours are drawn from the ``W`` LT intermediate symbols, walking
+  from ``b`` with stride ``a`` (``1 <= a < W``);
+* ``d1`` neighbours (2 or 3) are drawn from the ``P`` PI intermediate symbols,
+  walking from ``b1`` with stride ``a1`` modulo the prime ``P1``.
+
+The structure follows RFC 6330 section 5.3.5.4, with the systematic index
+replaced by the block's ``systematic_seed`` (see :mod:`repro.rq.params`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rq.degree import DEGREE_RANDOM_RANGE, deg
+from repro.rq.params import CodeParameters
+from repro.rq.rand import rand
+
+
+@dataclass(frozen=True)
+class EncodingTuple:
+    """The neighbour-selection tuple for one encoding symbol."""
+
+    d: int
+    a: int
+    b: int
+    d1: int
+    a1: int
+    b1: int
+
+
+def make_tuple(params: CodeParameters, internal_symbol_id: int) -> EncodingTuple:
+    """Derive the encoding tuple for internal symbol id ``X``.
+
+    ``internal_symbol_id`` (ISI) counts source symbols 0..K-1 followed by
+    repair symbols K, K+1, ...
+    """
+    if internal_symbol_id < 0:
+        raise ValueError(f"internal symbol id must be non-negative, got {internal_symbol_id}")
+    w = params.num_lt_symbols
+    p1 = params.pi_prime
+
+    seed_a = 53591 + params.systematic_seed * 997
+    seed_b = 10267 * (params.systematic_seed + 1)
+    y = (seed_b + internal_symbol_id * seed_a) & 0xFFFFFFFF
+
+    v = rand(y, 0, DEGREE_RANDOM_RANGE)
+    d = deg(v, w)
+    a = 1 + rand(y, 1, w - 1)
+    b = rand(y, 2, w)
+    if d < 4:
+        d1 = 2 + rand(internal_symbol_id, 3, 2)
+    else:
+        d1 = 2
+    a1 = 1 + rand(internal_symbol_id, 4, p1 - 1)
+    b1 = rand(internal_symbol_id, 5, p1)
+    return EncodingTuple(d=d, a=a, b=b, d1=d1, a1=a1, b1=b1)
+
+
+def lt_neighbours(params: CodeParameters, internal_symbol_id: int) -> list[int]:
+    """Return the intermediate-symbol indices XORed to form encoding symbol X.
+
+    Indices below ``W`` refer to LT intermediate symbols; indices in
+    ``[W, L)`` refer to PI symbols.  The list may contain each index at most
+    once (duplicates are impossible by construction of the strided walks).
+    """
+    t = make_tuple(params, internal_symbol_id)
+    w = params.num_lt_symbols
+    p = params.num_pi_symbols
+    p1 = params.pi_prime
+
+    neighbours: list[int] = []
+    b = t.b
+    neighbours.append(b)
+    for _ in range(1, t.d):
+        b = (b + t.a) % w
+        neighbours.append(b)
+
+    b1 = t.b1
+    while b1 >= p:
+        b1 = (b1 + t.a1) % p1
+    neighbours.append(w + b1)
+    for _ in range(1, t.d1):
+        b1 = (b1 + t.a1) % p1
+        while b1 >= p:
+            b1 = (b1 + t.a1) % p1
+        neighbours.append(w + b1)
+
+    # The strided walk over W can revisit an index when d approaches W; XOR of
+    # a symbol with itself cancels, so collapse duplicates to "appears odd
+    # number of times".
+    unique: dict[int, int] = {}
+    for index in neighbours:
+        unique[index] = unique.get(index, 0) + 1
+    return sorted(index for index, count in unique.items() if count % 2 == 1)

@@ -1,0 +1,169 @@
+"""Event loop for the discrete-event simulator.
+
+Design goals:
+
+* **Determinism** -- events scheduled for the same time fire in the order
+  they were scheduled (a monotonically increasing sequence number breaks
+  ties), so a run is fully reproducible from its configuration and seed.
+* **Cancellation without heap surgery** -- cancelling an event marks it
+  cancelled; the event is discarded lazily when it reaches the top of the
+  heap.  This keeps :meth:`Simulator.cancel` O(1).
+* **No global state** -- every component holds a reference to its simulator;
+  multiple simulators can coexist in one process (useful for tests and
+  parameter sweeps).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code only ever holds them to call
+    :meth:`cancel` (via :meth:`Simulator.cancel`) or to inspect
+    :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, seq={self.seq}, {name}, {state})"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "hello at t=1")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before current time t={self._now}"
+            )
+        event = Event(time, self._seq, callback, args, kwargs)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op for ``None`` or already-cancelled)."""
+        if event is not None:
+            event.cancelled = True
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current callback finishes."""
+        self._stopped = True
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the time of the next pending (non-cancelled) event, or ``None``."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Args:
+            until: if given, stop once the next event would fire after this
+                time (simulation time is advanced to ``until``).
+            max_events: if given, stop after processing this many events; a
+                safety valve for tests.
+
+        Returns:
+            The number of events processed during this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed_before = self._events_processed
+        try:
+            while not self._stopped:
+                self._discard_cancelled()
+                if not self._heap:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args, **event.kwargs)
+                if max_events is not None and self._events_processed - processed_before >= max_events:
+                    break
+            else:
+                pass
+            if until is not None and not self._heap and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+        return self._events_processed - processed_before
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,97 @@
+"""Higher-level scheduling helpers built on top of the event loop.
+
+:class:`Timer` is a restartable one-shot timer (used for TCP retransmission
+timeouts); :class:`PeriodicProcess` repeatedly invokes a callback at a fixed
+period (used by rate estimators and by the experiment harness's progress
+sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback fires once, ``delay`` seconds after the most recent
+    :meth:`start` / :meth:`restart`, unless :meth:`stop` was called first.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time at which the timer will fire, or ``None`` if not armed."""
+        if not self.running:
+            return None
+        return self._event.time  # type: ignore[union-attr]
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now; restarts if already armed."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Alias of :meth:`start`, for readability at call sites."""
+        self.start(delay)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is armed."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Invokes ``callback(now)`` every ``period`` seconds until stopped."""
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[float], Any]) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is currently active."""
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start the periodic invocations (first one after ``initial_delay``)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self.period if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop future invocations."""
+        self._running = False
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback(self._sim.now)
+        if self._running:
+            self._event = self._sim.schedule(self.period, self._tick)

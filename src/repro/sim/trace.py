@@ -1,0 +1,58 @@
+"""Structured trace logging.
+
+A :class:`TraceLog` is an in-memory, filterable record of interesting events
+(packet trims, retransmissions, session completions, ...).  It is disabled by
+default so that large experiments pay no cost; tests and the examples enable
+it to assert on protocol behaviour ("at least one symbol was trimmed under
+Incast", "no data packet was ever dropped by a trimming switch").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: a timestamp, a category, and free-form details."""
+
+    time: float
+    category: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(self.details.items()))
+        return f"[{self.time:.9f}] {self.category} {rendered}"
+
+
+class TraceLog:
+    """An in-memory event trace with per-category filtering."""
+
+    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None) -> None:
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Record an event if tracing is enabled and the category is selected."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(time=time, category=category, details=details))
+
+    def filter(self, category: str) -> list[TraceEvent]:
+        """Return all recorded events of the given category."""
+        return [event for event in self.events if event.category == category]
+
+    def count(self, category: str) -> int:
+        """Return how many events of the given category were recorded."""
+        return sum(1 for event in self.events if event.category == category)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

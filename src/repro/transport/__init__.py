@@ -1,0 +1,16 @@
+"""Transport protocols that run over the network substrate.
+
+* :mod:`repro.transport.base` -- the transfer registry shared by every
+  transport (start/completion times, goodput).
+* :mod:`repro.transport.tcp` -- the NewReno-style TCP baseline the paper
+  compares against ("standard unicast data transport"), including the
+  multi-unicast replication and uncoordinated multi-source fetch emulations
+  used in Figures 1a and 1b.
+
+The Polyraptor protocol itself lives in :mod:`repro.core` because it is the
+paper's primary contribution.
+"""
+
+from repro.transport.base import TransferRecord, TransferRegistry
+
+__all__ = ["TransferRecord", "TransferRegistry"]

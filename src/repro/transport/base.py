@@ -1,0 +1,130 @@
+"""Transfer bookkeeping shared by all transports.
+
+A :class:`TransferRegistry` records when each transfer (TCP flow, Polyraptor
+session) started and completed and how many application bytes it moved.  The
+experiment harness reads goodputs from the registry to produce the paper's
+rank curves and Incast series; tests use it to assert that every offered
+transfer actually finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.units import GBPS
+
+
+@dataclass
+class TransferRecord:
+    """One application-level transfer."""
+
+    transfer_id: int
+    transfer_bytes: int
+    start_time: float
+    completion_time: Optional[float] = None
+    protocol: str = ""
+    label: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """Whether the transfer has finished."""
+        return self.completion_time is not None
+
+    @property
+    def flow_completion_time(self) -> float:
+        """Duration from start to completion (raises if not completed)."""
+        if self.completion_time is None:
+            raise ValueError(f"transfer {self.transfer_id} has not completed")
+        return self.completion_time - self.start_time
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application-level goodput in bits per second."""
+        duration = self.flow_completion_time
+        if duration <= 0:
+            raise ValueError(f"transfer {self.transfer_id} has a non-positive duration")
+        return self.transfer_bytes * 8 / duration
+
+    @property
+    def goodput_gbps(self) -> float:
+        """Application-level goodput in Gbit/s (the unit of the paper's figures)."""
+        return self.goodput_bps / GBPS
+
+
+class TransferRegistry:
+    """Registry of every transfer offered during an experiment."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, TransferRecord] = {}
+
+    def record_start(
+        self,
+        transfer_id: int,
+        transfer_bytes: int,
+        start_time: float,
+        protocol: str = "",
+        label: str = "",
+        **metadata,
+    ) -> TransferRecord:
+        """Register the start of a transfer (id must be unique)."""
+        if transfer_id in self._records:
+            raise ValueError(f"transfer {transfer_id} already registered")
+        record = TransferRecord(
+            transfer_id=transfer_id,
+            transfer_bytes=transfer_bytes,
+            start_time=start_time,
+            protocol=protocol,
+            label=label,
+            metadata=dict(metadata),
+        )
+        self._records[transfer_id] = record
+        return record
+
+    def record_completion(self, transfer_id: int, completion_time: float) -> TransferRecord:
+        """Mark a transfer as completed at ``completion_time``."""
+        record = self._records[transfer_id]
+        if record.completion_time is not None:
+            raise ValueError(f"transfer {transfer_id} already completed")
+        record.completion_time = completion_time
+        return record
+
+    def get(self, transfer_id: int) -> TransferRecord:
+        """Return the record for a transfer id."""
+        return self._records[transfer_id]
+
+    def __contains__(self, transfer_id: int) -> bool:
+        return transfer_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[TransferRecord]:
+        """All records, ordered by transfer id."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    @property
+    def completed_records(self) -> list[TransferRecord]:
+        """Only the transfers that finished."""
+        return [record for record in self.records if record.completed]
+
+    @property
+    def incomplete_records(self) -> list[TransferRecord]:
+        """Transfers that were started but did not finish."""
+        return [record for record in self.records if not record.completed]
+
+    def goodputs_gbps(self, label: Optional[str] = None) -> list[float]:
+        """Goodputs (Gbit/s) of completed transfers, optionally filtered by label."""
+        return [
+            record.goodput_gbps
+            for record in self.completed_records
+            if label is None or record.label == label
+        ]
+
+    def completion_fraction(self) -> float:
+        """Fraction of registered transfers that completed."""
+        if not self._records:
+            return 0.0
+        return len(self.completed_records) / len(self._records)

@@ -1,0 +1,118 @@
+"""Per-host TCP endpoint: demultiplexes segments to senders and receivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.network.host import Host
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+from repro.transport.base import TransferRegistry
+from repro.transport.tcp.config import TCP_PROTOCOL, TcpConfig
+from repro.transport.tcp.receiver import TcpReceiver
+from repro.transport.tcp.segments import TcpSegment
+from repro.transport.tcp.sender import TcpSender
+
+
+class TcpAgent:
+    """The TCP protocol endpoint installed on a host.
+
+    One agent per host handles every TCP flow that host participates in,
+    creating sender state when :meth:`start_flow` is called and receiver state
+    lazily when the first data segment of an unknown flow arrives.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        config: Optional[TcpConfig] = None,
+        registry: Optional[TransferRegistry] = None,
+    ) -> None:
+        self._sim = sim
+        self.host = host
+        self.config = config or TcpConfig()
+        self.registry = registry
+        self._senders: dict[int, TcpSender] = {}
+        self._receivers: dict[int, TcpReceiver] = {}
+        host.register_protocol(TCP_PROTOCOL, self)
+
+    # Flow management -------------------------------------------------------------
+
+    def start_flow(
+        self,
+        flow_id: int,
+        dst_host_id: int,
+        num_bytes: int,
+        label: str = "",
+        register: bool = True,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> TcpSender:
+        """Start sending ``num_bytes`` to ``dst_host_id`` as flow ``flow_id``."""
+        if flow_id in self._senders:
+            raise ValueError(f"flow {flow_id} already started on {self.host.name}")
+        if register and self.registry is not None:
+            self.registry.record_start(
+                flow_id, num_bytes, self._sim.now, protocol=TCP_PROTOCOL, label=label
+            )
+
+        def _completed(now: float) -> None:
+            if register and self.registry is not None:
+                self.registry.record_completion(flow_id, now)
+            if on_complete is not None:
+                on_complete(now)
+
+        sender = TcpSender(
+            self._sim,
+            self.host,
+            self.config,
+            flow_id=flow_id,
+            dst_host_id=dst_host_id,
+            total_bytes=num_bytes,
+            on_complete=_completed,
+        )
+        self._senders[flow_id] = sender
+        sender.start()
+        return sender
+
+    def sender(self, flow_id: int) -> TcpSender:
+        """Return the sender state of a flow started on this host."""
+        return self._senders[flow_id]
+
+    def receiver(self, flow_id: int) -> TcpReceiver:
+        """Return the receiver state of a flow terminating on this host."""
+        return self._receivers[flow_id]
+
+    @property
+    def active_senders(self) -> int:
+        """Number of flows started on this host that have not completed yet."""
+        return sum(1 for sender in self._senders.values() if not sender.completed)
+
+    # Packet handling --------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Dispatch an arriving TCP packet to the right flow state machine."""
+        if packet.trimmed:
+            # A trimmed data packet carries no payload bytes; standard TCP has
+            # no notion of trimming, so the loss is discovered via duplicate
+            # ACKs or a timeout exactly as if the packet had been dropped.
+            return
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment):
+            raise TypeError(f"unexpected TCP payload: {segment!r}")
+        if segment.ack:
+            sender = self._senders.get(segment.flow_id)
+            if sender is not None:
+                sender.on_ack(segment.ack_seq)
+            return
+        receiver = self._receivers.get(segment.flow_id)
+        if receiver is None:
+            receiver = TcpReceiver(
+                self._sim,
+                self.host,
+                self.config,
+                flow_id=segment.flow_id,
+                peer_host_id=segment.src_host,
+            )
+            self._receivers[segment.flow_id] = receiver
+        receiver.on_data(segment)

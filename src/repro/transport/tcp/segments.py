@@ -1,0 +1,35 @@
+"""TCP segment descriptors carried as packet payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment (data or ACK) as seen by the simulator.
+
+    Sequence numbers are byte offsets into the flow (starting at 0); the
+    model does not simulate the three-way handshake or connection teardown
+    because the paper's metrics only concern the data transfer itself.
+    """
+
+    flow_id: int
+    src_host: int
+    dst_host: int
+    seq: int = 0
+    length: int = 0
+    ack: bool = False
+    ack_seq: int = 0
+    retransmission: bool = False
+
+    @property
+    def end_seq(self) -> int:
+        """First byte offset after this segment's data."""
+        return self.seq + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ack:
+            return f"TcpAck(flow={self.flow_id}, ack={self.ack_seq})"
+        marker = "R" if self.retransmission else ""
+        return f"TcpData{marker}(flow={self.flow_id}, seq={self.seq}, len={self.length})"

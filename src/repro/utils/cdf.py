@@ -1,0 +1,87 @@
+"""Empirical CDF and rank-curve helpers used by the experiment harness.
+
+The paper's Figures 1a and 1b plot per-session goodput against the *rank* of
+the transport session (sessions sorted from worst to best goodput).  The
+:func:`rank_curve` helper produces exactly that series; :class:`Cdf` is the
+more conventional empirical-distribution view used by reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution over a set of samples."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        """Build a CDF from an iterable of samples (sorted internally)."""
+        return cls(values=tuple(sorted(samples)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (0 <= q <= 1) using nearest-rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            raise ValueError("cannot take a quantile of an empty CDF")
+        if q == 0.0:
+            return self.values[0]
+        index = max(0, min(len(self.values) - 1, int(round(q * len(self.values))) - 1))
+        return self.values[index]
+
+    def median(self) -> float:
+        """Convenience accessor for the 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self.values:
+            raise ValueError("cannot take the mean of an empty CDF")
+        return sum(self.values) / len(self.values)
+
+    def fraction_at_or_below(self, threshold: float) -> float:
+        """Return the empirical probability that a sample is <= ``threshold``."""
+        if not self.values:
+            raise ValueError("cannot evaluate an empty CDF")
+        count = sum(1 for value in self.values if value <= threshold)
+        return count / len(self.values)
+
+    def points(self) -> list[tuple[float, float]]:
+        """Return (value, cumulative probability) pairs suitable for plotting."""
+        total = len(self.values)
+        return [(value, (index + 1) / total) for index, value in enumerate(self.values)]
+
+
+def rank_curve(samples: Sequence[float]) -> list[tuple[int, float]]:
+    """Return (rank, value) pairs with samples sorted from worst to best.
+
+    This matches the x-axis of the paper's Figures 1a/1b ("Rank of transport
+    session"): rank 0 is the slowest session.
+    """
+    ordered = sorted(samples)
+    return list(enumerate(ordered))
+
+
+def confidence_interval_95(samples: Sequence[float]) -> tuple[float, float]:
+    """Return (mean, half-width) of a 95% confidence interval.
+
+    Uses the normal approximation (1.96 standard errors), which is what the
+    paper's Figure 1c error bars represent across 5 repetitions.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot compute a confidence interval of no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
+    std_error = (variance / n) ** 0.5
+    return mean, 1.96 * std_error

@@ -1,0 +1,34 @@
+"""Workload generators for the paper's evaluation scenarios.
+
+Every generator produces :class:`~repro.workloads.spec.TransferSpec` objects:
+plain descriptions (who, to/from whom, how many bytes, when) that the
+experiment runner turns into Polyraptor sessions or TCP flows.  Keeping the
+workload independent of the protocol under test is what makes the RQ-vs-TCP
+comparison apples-to-apples: both protocols are offered the exact same
+transfers.
+"""
+
+from repro.workloads.arrivals import PoissonArrivals, UniformArrivals, synchronised_arrivals
+from repro.workloads.background import background_transfers
+from repro.workloads.flowsize import FixedSize, ParetoSize, UniformSize
+from repro.workloads.incast import IncastScenario, incast_transfers
+from repro.workloads.spec import TransferKind, TransferSpec
+from repro.workloads.storage import StorageWorkload, replica_placement
+from repro.workloads.traffic_matrix import permutation_pairs
+
+__all__ = [
+    "TransferSpec",
+    "TransferKind",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "synchronised_arrivals",
+    "FixedSize",
+    "UniformSize",
+    "ParetoSize",
+    "permutation_pairs",
+    "replica_placement",
+    "StorageWorkload",
+    "IncastScenario",
+    "incast_transfers",
+    "background_transfers",
+]

@@ -1,0 +1,46 @@
+"""Background traffic.
+
+The paper's evaluation offers "20% of the sessions [as] background traffic":
+plain unicast transfers between permutation pairs that share the fabric with
+the storage sessions under study but are excluded from the reported results.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.network.topology import Topology
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.spec import TransferKind, TransferSpec
+from repro.workloads.traffic_matrix import repeated_permutation_pairs
+
+
+def background_transfers(
+    topology: Topology,
+    num_transfers: int,
+    object_bytes: int,
+    arrival_rate_per_second: float,
+    rng: random.Random,
+    first_transfer_id: int = 0,
+    label: str = "background",
+) -> list[TransferSpec]:
+    """Generate unicast background transfers between permutation pairs."""
+    if num_transfers <= 0:
+        return []
+    if object_bytes <= 0:
+        raise ValueError("object_bytes must be positive")
+    arrivals = PoissonArrivals(arrival_rate_per_second).times(num_transfers, rng)
+    pairs = repeated_permutation_pairs(topology.hosts, num_transfers, rng)
+    return [
+        TransferSpec(
+            transfer_id=first_transfer_id + index,
+            kind=TransferKind.UNICAST,
+            client=src,
+            peers=(dst,),
+            size_bytes=object_bytes,
+            start_time=arrivals[index],
+            label=label,
+            is_background=True,
+        )
+        for index, (src, dst) in enumerate(pairs)
+    ]

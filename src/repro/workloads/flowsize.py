@@ -1,0 +1,66 @@
+"""Flow-size distributions.
+
+The paper uses fixed 4 MB sessions; the extra distributions here support the
+"different workloads" direction its discussion section mentions (and the
+ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixedSize:
+    """Every transfer has the same size."""
+
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+    def sample(self, rng: random.Random) -> int:
+        """Return the (fixed) size."""
+        del rng
+        return self.size_bytes
+
+
+@dataclass(frozen=True)
+class UniformSize:
+    """Sizes drawn uniformly from [min_bytes, max_bytes]."""
+
+    min_bytes: int
+    max_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.min_bytes <= 0 or self.max_bytes < self.min_bytes:
+            raise ValueError("require 0 < min_bytes <= max_bytes")
+
+    def sample(self, rng: random.Random) -> int:
+        """Return one uniformly distributed size."""
+        return rng.randint(self.min_bytes, self.max_bytes)
+
+
+@dataclass(frozen=True)
+class ParetoSize:
+    """A bounded Pareto distribution: many small transfers, a heavy tail."""
+
+    min_bytes: int
+    max_bytes: int
+    shape: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.min_bytes <= 0 or self.max_bytes < self.min_bytes:
+            raise ValueError("require 0 < min_bytes <= max_bytes")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+
+    def sample(self, rng: random.Random) -> int:
+        """Return one bounded-Pareto distributed size."""
+        u = rng.random()
+        low, high, alpha = self.min_bytes, self.max_bytes, self.shape
+        numerator = u * high ** alpha - u * low ** alpha - high ** alpha
+        value = (-numerator / (low ** alpha * high ** alpha)) ** (-1.0 / alpha)
+        return int(min(max(value, low), high))

@@ -1,0 +1,80 @@
+"""The Incast workload: synchronised short flows to a single receiver.
+
+Figure 1c of the paper: an aggregator requests data from an increasing number
+of workers; every worker answers at the same instant with a short response
+(256 KB or 70 KB).  TCP suffers goodput collapse as the worker count grows;
+Polyraptor's trimming plus rateless symbols eliminate the collapse.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.network.topology import Topology
+from repro.workloads.spec import TransferKind, TransferSpec
+
+
+@dataclass(frozen=True)
+class IncastScenario:
+    """One Incast episode: ``num_senders`` workers answering one aggregator."""
+
+    num_senders: int
+    response_bytes: int
+    aggregator: str
+    senders: tuple[str, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes converging on the aggregator."""
+        return self.num_senders * self.response_bytes
+
+
+def incast_transfers(
+    topology: Topology,
+    num_senders: int,
+    response_bytes: int,
+    rng: random.Random,
+    aggregator: str | None = None,
+    start_time: float = 0.0,
+    first_transfer_id: int = 0,
+    label: str = "incast",
+) -> tuple[IncastScenario, list[TransferSpec]]:
+    """Build one synchronised Incast episode.
+
+    The aggregator is chosen at random (or given); the senders are drawn at
+    random from the remaining hosts.  Each worker's response is a separate
+    unicast transfer starting at the same instant.
+    """
+    if num_senders <= 0:
+        raise ValueError("num_senders must be positive")
+    if response_bytes <= 0:
+        raise ValueError("response_bytes must be positive")
+    hosts = topology.hosts
+    if aggregator is None:
+        aggregator = rng.choice(hosts)
+    candidates = [host for host in hosts if host != aggregator]
+    if len(candidates) < num_senders:
+        raise ValueError(
+            f"topology has only {len(candidates)} candidate senders, need {num_senders}"
+        )
+    senders = tuple(rng.sample(candidates, num_senders))
+    transfers = [
+        TransferSpec(
+            transfer_id=first_transfer_id + index,
+            kind=TransferKind.UNICAST,
+            client=sender,
+            peers=(aggregator,),
+            size_bytes=response_bytes,
+            start_time=start_time,
+            label=label,
+        )
+        for index, sender in enumerate(senders)
+    ]
+    scenario = IncastScenario(
+        num_senders=num_senders,
+        response_bytes=response_bytes,
+        aggregator=aggregator,
+        senders=senders,
+    )
+    return scenario, transfers

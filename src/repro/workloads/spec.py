@@ -1,0 +1,63 @@
+"""Protocol-independent transfer descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TransferKind(str, Enum):
+    """Shape of a transfer."""
+
+    #: one-to-one transfer (also used for background traffic)
+    UNICAST = "unicast"
+    #: one-to-many replication (client pushes the object to every peer)
+    REPLICATE = "replicate"
+    #: many-to-one fetch (client pulls the object that every peer stores)
+    FETCH = "fetch"
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One application-level transfer to be offered to a transport.
+
+    Attributes:
+        transfer_id: unique id (also used as session/flow id by the runner).
+        kind: unicast, replicate (one-to-many) or fetch (many-to-one).
+        client: host *name* of the initiator (the sender for unicast and
+            replicate, the receiver for fetch).
+        peers: host names of the other endpoints (one for unicast, the
+            replica servers otherwise).
+        size_bytes: application bytes of the object being moved.
+        start_time: simulation time at which the transfer is initiated.
+        label: free-form tag used to group results ("foreground",
+            "background", "incast", ...).
+        is_background: convenience flag for filtering results.
+    """
+
+    transfer_id: int
+    kind: TransferKind
+    client: str
+    peers: tuple[str, ...]
+    size_bytes: int
+    start_time: float
+    label: str = "foreground"
+    is_background: bool = False
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.start_time < 0:
+            raise ValueError("start_time cannot be negative")
+        if not self.peers:
+            raise ValueError("a transfer needs at least one peer")
+        if self.client in self.peers:
+            raise ValueError("the client cannot be its own peer")
+        if self.kind is TransferKind.UNICAST and len(self.peers) != 1:
+            raise ValueError("unicast transfers have exactly one peer")
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peer endpoints (replicas/senders)."""
+        return len(self.peers)

@@ -1,0 +1,113 @@
+"""Distributed-storage workloads: replication (one-to-many) and fetch (many-to-one).
+
+Figure 1a of the paper simulates "a distributed storage scenario with 1 and 3
+replicas.  The three replica servers are randomly selected outside the
+client's rack."  Figure 1b is the mirror image: "a client fetches data from 1
+and 3 replica servers at the same time."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.network.topology import Topology
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.spec import TransferKind, TransferSpec
+from repro.workloads.traffic_matrix import repeated_permutation_pairs
+
+
+def replica_placement(
+    topology: Topology,
+    client: str,
+    num_replicas: int,
+    rng: random.Random,
+) -> list[str]:
+    """Pick ``num_replicas`` distinct hosts outside the client's rack."""
+    if num_replicas <= 0:
+        raise ValueError("num_replicas must be positive")
+    same_rack = set(topology.hosts_in_same_rack(client))
+    candidates = [host for host in topology.hosts if host not in same_rack and host != client]
+    if len(candidates) < num_replicas:
+        raise ValueError(
+            f"not enough hosts outside {client}'s rack for {num_replicas} replicas"
+        )
+    return rng.sample(candidates, num_replicas)
+
+
+@dataclass(frozen=True)
+class StorageWorkload:
+    """Generator of storage transfers following the paper's methodology.
+
+    Attributes:
+        kind: REPLICATE for Figure 1a, FETCH for Figure 1b.
+        num_replicas: replicas per transfer (1 or 3 in the paper).
+        object_bytes: object size (4 MB in the paper).
+        arrival_rate_per_second: Poisson arrival rate (lambda; 2560 in the paper).
+    """
+
+    kind: TransferKind
+    num_replicas: int
+    object_bytes: int
+    arrival_rate_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TransferKind.REPLICATE, TransferKind.FETCH):
+            raise ValueError("StorageWorkload only generates replicate/fetch transfers")
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.object_bytes <= 0:
+            raise ValueError("object_bytes must be positive")
+        if self.arrival_rate_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def generate(
+        self,
+        topology: Topology,
+        num_transfers: int,
+        rng: random.Random,
+        first_transfer_id: int = 0,
+        label: str = "foreground",
+    ) -> list[TransferSpec]:
+        """Generate ``num_transfers`` storage transfers.
+
+        Clients are drawn from successive permutation rounds over all hosts
+        (the paper's permutation traffic matrix); replica servers are chosen
+        uniformly outside each client's rack; arrival times follow the Poisson
+        process.
+        """
+        if num_transfers <= 0:
+            return []
+        arrivals = PoissonArrivals(self.arrival_rate_per_second).times(num_transfers, rng)
+        clients = [
+            src for src, _ in repeated_permutation_pairs(topology.hosts, num_transfers, rng)
+        ]
+        transfers = []
+        for index in range(num_transfers):
+            client = clients[index]
+            replicas = replica_placement(topology, client, self.num_replicas, rng)
+            transfers.append(
+                TransferSpec(
+                    transfer_id=first_transfer_id + index,
+                    kind=self.kind,
+                    client=client,
+                    peers=tuple(replicas),
+                    size_bytes=self.object_bytes,
+                    start_time=arrivals[index],
+                    label=label,
+                )
+            )
+        return transfers
+
+
+def storage_transfer_summary(transfers: Sequence[TransferSpec]) -> dict[str, float]:
+    """Small helper used by reports and tests: totals of a generated workload."""
+    if not transfers:
+        return {"count": 0, "total_bytes": 0, "duration": 0.0}
+    return {
+        "count": len(transfers),
+        "total_bytes": sum(spec.size_bytes for spec in transfers),
+        "duration": max(spec.start_time for spec in transfers)
+        - min(spec.start_time for spec in transfers),
+    }

@@ -1,0 +1,46 @@
+"""Permutation traffic matrices.
+
+"Session (flow) scheduling follows a permutation traffic matrix": every host
+is the source of exactly one session and the destination of exactly one
+session per permutation round, and no host talks to itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def permutation_pairs(hosts: Sequence[str], rng: random.Random) -> list[tuple[str, str]]:
+    """Return a random derangement of ``hosts`` as (source, destination) pairs.
+
+    Every host appears exactly once as a source and once as a destination and
+    never maps to itself.
+    """
+    if len(hosts) < 2:
+        raise ValueError("a permutation traffic matrix needs at least two hosts")
+    sources = list(hosts)
+    for _ in range(1000):
+        destinations = list(hosts)
+        rng.shuffle(destinations)
+        if all(src != dst for src, dst in zip(sources, destinations)):
+            return list(zip(sources, destinations))
+    # Fall back to a cyclic shift, which is always a valid derangement.
+    shifted = sources[1:] + sources[:1]
+    return list(zip(sources, shifted))
+
+
+def repeated_permutation_pairs(
+    hosts: Sequence[str], count: int, rng: random.Random
+) -> list[tuple[str, str]]:
+    """Return ``count`` (source, destination) pairs drawn from successive permutations.
+
+    Each block of ``len(hosts)`` pairs is one fresh permutation round, so over
+    time every host sources and sinks the same number of transfers.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    pairs: list[tuple[str, str]] = []
+    while len(pairs) < count:
+        pairs.extend(permutation_pairs(hosts, rng))
+    return pairs[:count]

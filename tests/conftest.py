@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import PolyraptorAgent
+from repro.core.config import PolyraptorConfig
+from repro.network.network import Network, NetworkConfig
+from repro.network.routing import RoutingMode
+from repro.network.topology import FatTreeTopology
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.transport.base import TransferRegistry
+from repro.transport.tcp.agent import TcpAgent
+from repro.transport.tcp.config import TcpConfig
+
+
+class PolyraptorTestbed:
+    """A small FatTree with Polyraptor agents on every host."""
+
+    def __init__(self, seed: int = 1, config: PolyraptorConfig | None = None,
+                 network_config: NetworkConfig | None = None, k: int = 4) -> None:
+        self.sim = Simulator()
+        self.topology = FatTreeTopology(k)
+        self.network = Network(
+            self.sim,
+            self.topology,
+            network_config or NetworkConfig(),
+            RandomStreams(seed),
+        )
+        self.registry = TransferRegistry()
+        self.config = config or PolyraptorConfig()
+        self.agents = {
+            host.name: PolyraptorAgent(self.sim, host, self.config, self.registry)
+            for host in self.network.hosts
+        }
+
+    def host_id(self, name: str) -> int:
+        return self.network.host_id(name)
+
+    def run(self, until: float = 5.0) -> None:
+        self.sim.run(until=until)
+
+
+class TcpTestbed:
+    """A small FatTree with TCP agents on every host (drop-tail + ECMP)."""
+
+    def __init__(self, seed: int = 1, config: TcpConfig | None = None, k: int = 4) -> None:
+        self.sim = Simulator()
+        self.topology = FatTreeTopology(k)
+        self.network = Network(
+            self.sim,
+            self.topology,
+            NetworkConfig(switch_queue="droptail", routing_mode=RoutingMode.ECMP_FLOW),
+            RandomStreams(seed),
+        )
+        self.registry = TransferRegistry()
+        self.config = config or TcpConfig()
+        self.agents = {
+            host.name: TcpAgent(self.sim, host, self.config, self.registry)
+            for host in self.network.hosts
+        }
+
+    def host_id(self, name: str) -> int:
+        return self.network.host_id(name)
+
+    def run(self, until: float = 5.0) -> None:
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def polyraptor_testbed() -> PolyraptorTestbed:
+    """A fresh 16-host Polyraptor testbed."""
+    return PolyraptorTestbed()
+
+
+@pytest.fixture
+def tcp_testbed() -> TcpTestbed:
+    """A fresh 16-host TCP testbed."""
+    return TcpTestbed()

@@ -1,0 +1,45 @@
+"""Tests for the text rendering of figure results."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1a import Figure1aResult
+from repro.experiments.figure1c import Figure1cResult, IncastPoint
+from repro.experiments.metrics import SeriesSummary
+from repro.experiments.report import format_figure1c, format_rank_figure
+
+
+def _fake_rank_result() -> Figure1aResult:
+    result = Figure1aResult(config=ExperimentConfig())
+    for label, mean in (("1 Replica RQ", 0.8), ("1 Replica TCP", 0.5)):
+        result.series[label] = [(0, mean - 0.1), (1, mean + 0.1)]
+        result.summaries[label] = SeriesSummary.from_goodputs(label, [mean - 0.1, mean + 0.1])
+    return result
+
+
+class TestRankFigureFormatting:
+    def test_contains_title_and_all_series(self):
+        text = format_rank_figure(_fake_rank_result(), "Figure 1a")
+        assert text.startswith("Figure 1a")
+        assert "1 Replica RQ" in text
+        assert "1 Replica TCP" in text
+
+    def test_contains_quantile_columns(self):
+        text = format_rank_figure(_fake_rank_result(), "t")
+        for column in ("p10 Gbps", "median Gbps", "mean Gbps", "p90 Gbps"):
+            assert column in text
+
+    def test_values_rendered_with_three_decimals(self):
+        text = format_rank_figure(_fake_rank_result(), "t")
+        assert "0.800" in text  # the mean of the RQ series
+
+
+class TestFigure1cFormatting:
+    def test_rows_per_point(self):
+        result = Figure1cResult(config=ExperimentConfig())
+        result.series["RQ 256KB"] = [
+            IncastPoint(num_senders=1, mean_goodput_gbps=0.9, ci95_gbps=0.01, samples=(0.9,)),
+            IncastPoint(num_senders=8, mean_goodput_gbps=0.92, ci95_gbps=0.02, samples=(0.92,)),
+        ]
+        text = format_figure1c(result)
+        assert text.count("RQ 256KB") == 2
+        assert "+/-0.010" in text
+        assert "senders" in text

@@ -1,0 +1,175 @@
+"""Integration tests: the runner and (small versions of) every figure driver.
+
+These use deliberately tiny workloads so the whole file runs in well under a
+minute; the benchmark suite exercises the full scaled-down figures.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.figure1a import run_figure1a, series_label as label_1a
+from repro.experiments.figure1b import run_figure1b, series_label as label_1b
+from repro.experiments.figure1c import run_figure1c, series_label as label_1c
+from repro.experiments.runner import run_transfers, run_unicast_demo
+from repro.network.topology import FatTreeTopology
+from repro.utils.units import KILOBYTE
+from repro.workloads.spec import TransferKind, TransferSpec
+
+
+TINY = ExperimentConfig(
+    fattree_k=4,
+    num_foreground_transfers=6,
+    object_bytes=96 * KILOBYTE,
+    background_fraction=0.2,
+    max_sim_time_s=30.0,
+)
+
+
+class TestRunner:
+    def test_unicast_demo_polyraptor(self):
+        result = run_unicast_demo(Protocol.POLYRAPTOR, object_bytes=200_000)
+        assert result.completion_fraction == 1.0
+        assert result.goodputs_gbps()[0] > 0.5
+
+    def test_unicast_demo_tcp(self):
+        result = run_unicast_demo(Protocol.TCP, object_bytes=200_000)
+        assert result.completion_fraction == 1.0
+        assert result.goodputs_gbps()[0] > 0.5
+
+    def test_same_workload_offered_to_both_protocols(self):
+        topology = FatTreeTopology(4)
+        transfers = [
+            TransferSpec(transfer_id=i, kind=TransferKind.UNICAST, client=f"h{i}",
+                         peers=(f"h{i + 8}",), size_bytes=64_000, start_time=0.0)
+            for i in range(4)
+        ]
+        for protocol in (Protocol.POLYRAPTOR, Protocol.TCP):
+            result = run_transfers(protocol, TINY, transfers, topology=topology)
+            assert len(result.registry) == 4
+            assert result.completion_fraction == 1.0
+
+    def test_replicate_and_fetch_kinds(self):
+        topology = FatTreeTopology(4)
+        transfers = [
+            TransferSpec(transfer_id=1, kind=TransferKind.REPLICATE, client="h0",
+                         peers=("h8", "h12"), size_bytes=64_000, start_time=0.0),
+            TransferSpec(transfer_id=2, kind=TransferKind.FETCH, client="h1",
+                         peers=("h9", "h13"), size_bytes=64_000, start_time=0.0),
+        ]
+        for protocol in (Protocol.POLYRAPTOR, Protocol.TCP):
+            result = run_transfers(protocol, TINY, transfers, topology=topology)
+            assert result.completion_fraction == 1.0, protocol
+
+    def test_run_result_statistics_present(self):
+        result = run_unicast_demo(Protocol.POLYRAPTOR, object_bytes=100_000)
+        assert result.events_processed > 0
+        assert result.sim_time_s > 0
+        assert result.num_hosts == 16
+
+
+class TestFigure1a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1a(TINY, replica_counts=(1, 3))
+
+    def test_all_series_present(self, result):
+        expected = {label_1a(p, n) for p in Protocol for n in (1, 3)}
+        assert expected <= set(result.series)
+
+    def test_all_sessions_complete(self, result):
+        for label, run in result.runs.items():
+            assert run.completion_fraction == 1.0, label
+
+    def test_rank_curves_are_monotone(self, result):
+        for series in result.series.values():
+            values = [goodput for _, goodput in series]
+            assert values == sorted(values)
+
+    def test_rq_beats_tcp_and_degrades_less_with_replicas(self, result):
+        rq1 = result.summary(Protocol.POLYRAPTOR, 1).mean_gbps
+        rq3 = result.summary(Protocol.POLYRAPTOR, 3).mean_gbps
+        tcp1 = result.summary(Protocol.TCP, 1).mean_gbps
+        tcp3 = result.summary(Protocol.TCP, 3).mean_gbps
+        assert rq1 > tcp1
+        assert rq3 > tcp3
+        # Replication hurts TCP (3 full unicast copies) far more than RQ (multicast).
+        assert rq3 / rq1 > tcp3 / tcp1
+
+
+class TestFigure1b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1b(TINY, sender_counts=(1, 3))
+
+    def test_all_series_present(self, result):
+        expected = {label_1b(p, n) for p in Protocol for n in (1, 3)}
+        assert expected <= set(result.series)
+
+    def test_rq_multi_source_not_worse_than_single_source(self, result):
+        rq1 = result.summary(Protocol.POLYRAPTOR, 1).mean_gbps
+        rq3 = result.summary(Protocol.POLYRAPTOR, 3).mean_gbps
+        assert rq3 >= 0.8 * rq1
+
+    def test_rq_beats_tcp(self, result):
+        for senders in (1, 3):
+            assert (result.summary(Protocol.POLYRAPTOR, senders).mean_gbps
+                    > result.summary(Protocol.TCP, senders).mean_gbps)
+
+
+class TestFigure1c:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1c(
+            TINY,
+            sender_counts=(2, 8),
+            response_sizes=(256 * KILOBYTE,),
+            num_seeds=2,
+        )
+
+    def test_series_and_points_present(self, result):
+        label_rq = label_1c(Protocol.POLYRAPTOR, 256 * KILOBYTE)
+        label_tcp = label_1c(Protocol.TCP, 256 * KILOBYTE)
+        assert len(result.series[label_rq]) == 2
+        assert len(result.series[label_tcp]) == 2
+
+    def test_polyraptor_does_not_collapse_but_tcp_does(self, result):
+        rq_points = result.points(Protocol.POLYRAPTOR, 256 * KILOBYTE)
+        tcp_points = result.points(Protocol.TCP, 256 * KILOBYTE)
+        rq_at_8 = next(p for p in rq_points if p.num_senders == 8)
+        tcp_at_8 = next(p for p in tcp_points if p.num_senders == 8)
+        assert rq_at_8.mean_goodput_gbps > 0.6
+        assert tcp_at_8.mean_goodput_gbps < 0.5
+        assert rq_at_8.mean_goodput_gbps > 2 * tcp_at_8.mean_goodput_gbps
+
+    def test_confidence_intervals_reported(self, result):
+        for points in result.series.values():
+            for point in points:
+                assert point.ci95_gbps >= 0
+                assert len(point.samples) == 2
+
+
+class TestAblations:
+    def test_rq_overhead_ablation_failure_rates(self):
+        from repro.experiments.ablations import rq_overhead_ablation
+
+        points = rq_overhead_ablation(num_source_symbols=16, symbol_size=32, trials=10)
+        by_overhead = {point.overhead: point for point in points}
+        assert by_overhead[2].failure_rate <= by_overhead[0].failure_rate
+        assert by_overhead[2].failures == 0
+
+    def test_initial_window_ablation_monotone_up_to_bdp(self):
+        from repro.experiments.ablations import initial_window_ablation
+
+        points = initial_window_ablation(TINY, window_sizes=(2, 18), object_bytes=400_000)
+        small, large = points[0].goodput_gbps, points[1].goodput_gbps
+        assert large > small
+
+    def test_spraying_ablation_runs(self):
+        from repro.experiments.ablations import spraying_ablation
+
+        points = spraying_ablation(TINY, num_transfers=6)
+        labels = {point.label for point in points}
+        assert labels == {"packet_spray", "ecmp_flow", "single_path"}
+        spray = next(p for p in points if p.label == "packet_spray")
+        single = next(p for p in points if p.label == "single_path")
+        assert spray.goodput_gbps >= 0.9 * single.goodput_gbps

@@ -1,0 +1,85 @@
+"""Tests for multicast tree construction and group tables."""
+
+import pytest
+
+from repro.network.multicast import build_multicast_tree, group_table_entries
+from repro.network.routing import RoutingTable
+from repro.network.topology import FatTreeTopology
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    topology = FatTreeTopology(4)
+    return topology, RoutingTable(topology)
+
+
+class TestTreeConstruction:
+    def test_tree_reaches_every_receiver(self, fabric):
+        topology, routing = fabric
+        receivers = ["h4", "h8", "h15"]
+        group = build_multicast_tree(topology, routing, 1, "h0", receivers)
+        children = {}
+        for parent, child in group.tree_edges:
+            children.setdefault(parent, []).append(child)
+        # Walk the tree from the source; every receiver must be reachable.
+        reached = set()
+        frontier = ["h0"]
+        while frontier:
+            node = frontier.pop()
+            reached.add(node)
+            frontier.extend(children.get(node, []))
+        assert set(receivers) <= reached
+
+    def test_tree_edges_exist_in_topology(self, fabric):
+        topology, routing = fabric
+        group = build_multicast_tree(topology, routing, 2, "h0", ["h5", "h9"])
+        for parent, child in group.tree_edges:
+            assert topology.graph.has_edge(parent, child)
+
+    def test_single_receiver_tree_is_a_path(self, fabric):
+        topology, routing = fabric
+        group = build_multicast_tree(topology, routing, 3, "h0", ["h15"])
+        assert len(group.tree_edges) == 6
+
+    def test_shared_edges_not_duplicated(self, fabric):
+        topology, routing = fabric
+        # Two receivers in the same remote rack share most of the path.
+        group = build_multicast_tree(topology, routing, 4, "h0", ["h14", "h15"])
+        assert len(group.tree_edges) < 2 * 6
+
+    def test_different_groups_can_use_different_trees(self, fabric):
+        topology, routing = fabric
+        trees = {
+            build_multicast_tree(topology, routing, group_id, "h0", ["h15"]).tree_edges
+            for group_id in range(10)
+        }
+        assert len(trees) >= 2
+
+    def test_rejects_bad_receiver_sets(self, fabric):
+        topology, routing = fabric
+        with pytest.raises(ValueError):
+            build_multicast_tree(topology, routing, 1, "h0", [])
+        with pytest.raises(ValueError):
+            build_multicast_tree(topology, routing, 1, "h0", ["h1", "h1"])
+        with pytest.raises(ValueError):
+            build_multicast_tree(topology, routing, 1, "h0", ["h0"])
+
+    def test_num_receivers(self, fabric):
+        topology, routing = fabric
+        group = build_multicast_tree(topology, routing, 5, "h0", ["h4", "h8"])
+        assert group.num_receivers == 2
+
+
+class TestGroupTable:
+    def test_entries_cover_all_tree_parents(self, fabric):
+        topology, routing = fabric
+        group = build_multicast_tree(topology, routing, 6, "h0", ["h4", "h8", "h12"])
+        entries = group_table_entries(group)
+        parents = {parent for parent, _ in group.tree_edges}
+        assert set(entries) == parents
+
+    def test_children_are_sorted_and_unique(self, fabric):
+        topology, routing = fabric
+        group = build_multicast_tree(topology, routing, 7, "h0", ["h4", "h8", "h12"])
+        for children in group_table_entries(group).values():
+            assert list(children) == sorted(set(children))

@@ -1,0 +1,81 @@
+"""Tests for the packet model."""
+
+import pytest
+
+from repro.network.packet import DEFAULT_HEADER_BYTES, Packet, PacketKind, make_control_packet
+
+
+def make_data_packet(**overrides):
+    defaults = dict(protocol="test", src=0, dst=1, size_bytes=1500)
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestPacketConstruction:
+    def test_defaults(self):
+        packet = make_data_packet()
+        assert packet.kind is PacketKind.DATA
+        assert not packet.priority
+        assert not packet.trimmed
+        assert packet.header_bytes == DEFAULT_HEADER_BYTES
+        assert packet.payload_bytes == 1500 - DEFAULT_HEADER_BYTES
+
+    def test_unique_ids(self):
+        ids = {make_data_packet().packet_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_requires_destination_or_group(self):
+        with pytest.raises(ValueError):
+            Packet(protocol="t", src=0, dst=None, size_bytes=100)
+
+    def test_multicast_flag(self):
+        packet = Packet(protocol="t", src=0, dst=None, multicast_group=9, size_bytes=100)
+        assert packet.is_multicast
+
+    def test_size_below_header_rejected(self):
+        with pytest.raises(ValueError):
+            make_data_packet(size_bytes=10)
+
+
+class TestTrimming:
+    def test_trim_produces_header_only_priority_packet(self):
+        original = make_data_packet()
+        trimmed = original.trim()
+        assert trimmed.size_bytes == original.header_bytes
+        assert trimmed.kind is PacketKind.HEADER
+        assert trimmed.trimmed
+        assert trimmed.priority
+        assert trimmed.payload_bytes == 0
+        # Protocol metadata survives trimming.
+        assert trimmed.payload is original.payload
+        assert trimmed.src == original.src and trimmed.dst == original.dst
+
+    def test_trim_does_not_modify_original(self):
+        original = make_data_packet()
+        original.trim()
+        assert original.size_bytes == 1500
+        assert not original.trimmed
+
+    def test_only_data_packets_can_be_trimmed(self):
+        control = make_control_packet("t", 0, 1, payload=None)
+        with pytest.raises(ValueError):
+            control.trim()
+
+
+class TestReplication:
+    def test_copy_for_replication_gets_new_id(self):
+        packet = make_data_packet()
+        copy = packet.copy_for_replication()
+        assert copy.packet_id != packet.packet_id
+        assert copy.size_bytes == packet.size_bytes
+        assert copy.payload is packet.payload
+
+
+class TestControlPackets:
+    def test_control_packet_is_priority(self):
+        packet = make_control_packet("t", 3, 4, payload={"x": 1}, flow_id=9)
+        assert packet.kind is PacketKind.CONTROL
+        assert packet.priority
+        assert packet.flow_id == 9
+        assert packet.payload == {"x": 1}
+        assert packet.size_bytes == DEFAULT_HEADER_BYTES

@@ -1,0 +1,113 @@
+"""Tests for the queue disciplines (drop-tail and NDP-style trimming)."""
+
+import pytest
+
+from repro.network.packet import Packet, PacketKind, make_control_packet
+from repro.network.queues import DropTailQueue, TrimmingQueue
+
+
+def data_packet(flow_id=0):
+    return Packet(protocol="t", src=0, dst=1, size_bytes=1500, flow_id=flow_id)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_packets=10)
+        first, second = data_packet(1), data_packet(2)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+        assert queue.dequeue() is None
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(capacity_packets=2)
+        assert queue.enqueue(data_packet()) is not None
+        assert queue.enqueue(data_packet()) is not None
+        assert queue.enqueue(data_packet()) is None
+        assert queue.dropped_packets == 1
+        assert len(queue) == 2
+
+    def test_queued_bytes(self):
+        queue = DropTailQueue()
+        queue.enqueue(data_packet())
+        queue.enqueue(data_packet())
+        assert queue.queued_bytes == 3000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=0)
+
+
+class TestTrimmingQueue:
+    def test_data_packets_accepted_up_to_capacity(self):
+        queue = TrimmingQueue(data_capacity_packets=3)
+        for _ in range(3):
+            accepted = queue.enqueue(data_packet())
+            assert accepted is not None and not accepted.trimmed
+        assert queue.data_queue_length == 3
+        assert queue.trimmed_packets == 0
+
+    def test_overflow_trims_instead_of_dropping(self):
+        queue = TrimmingQueue(data_capacity_packets=2)
+        for _ in range(2):
+            queue.enqueue(data_packet())
+        overflow = queue.enqueue(data_packet())
+        assert overflow is not None
+        assert overflow.trimmed
+        assert overflow.size_bytes == overflow.header_bytes
+        assert queue.trimmed_packets == 1
+        assert queue.dropped_packets == 0
+        assert queue.priority_queue_length == 1
+
+    def test_control_packets_go_to_priority_queue(self):
+        queue = TrimmingQueue()
+        queue.enqueue(make_control_packet("t", 0, 1, None))
+        assert queue.priority_queue_length == 1
+        assert queue.data_queue_length == 0
+
+    def test_priority_served_before_data(self):
+        queue = TrimmingQueue()
+        data = data_packet()
+        control = make_control_packet("t", 0, 1, None)
+        queue.enqueue(data)
+        queue.enqueue(control)
+        assert queue.dequeue() is control
+        assert queue.dequeue() is data
+
+    def test_headers_dropped_when_priority_queue_full(self):
+        queue = TrimmingQueue(data_capacity_packets=1, header_capacity_packets=2)
+        queue.enqueue(data_packet())
+        for _ in range(2):
+            queue.enqueue(data_packet())  # trimmed into the priority queue
+        result = queue.enqueue(data_packet())  # priority queue now full
+        assert result is None
+        assert queue.dropped_headers == 1
+        assert queue.dropped_packets == 1
+
+    def test_starvation_guard_serves_data_eventually(self):
+        queue = TrimmingQueue(data_service_ratio=3)
+        data = data_packet()
+        queue.enqueue(data)
+        for _ in range(10):
+            queue.enqueue(make_control_packet("t", 0, 1, None))
+        served = [queue.dequeue() for _ in range(5)]
+        assert data in served
+
+    def test_len_counts_both_queues(self):
+        queue = TrimmingQueue()
+        queue.enqueue(data_packet())
+        queue.enqueue(make_control_packet("t", 0, 1, None))
+        assert len(queue) == 2
+        assert queue.queued_bytes > 0
+
+    def test_dequeue_empty_returns_none(self):
+        assert TrimmingQueue().dequeue() is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TrimmingQueue(data_capacity_packets=0)
+        with pytest.raises(ValueError):
+            TrimmingQueue(header_capacity_packets=0)
+        with pytest.raises(ValueError):
+            TrimmingQueue(data_service_ratio=0)

@@ -1,0 +1,98 @@
+"""Tests for routing tables and next-hop selection."""
+
+import random
+
+import pytest
+
+from repro.network.routing import RoutingMode, RoutingTable, select_next_hop, stable_hash
+from repro.network.topology import FatTreeTopology
+
+
+@pytest.fixture(scope="module")
+def fattree_routing():
+    topology = FatTreeTopology(4)
+    return topology, RoutingTable(topology)
+
+
+class TestRoutingTable:
+    def test_edge_switch_single_hop_to_local_host(self, fattree_routing):
+        topology, table = fattree_routing
+        rack = topology.host_rack("h0")
+        assert table.next_hops(rack, "h0") == ("h0",)
+
+    def test_edge_switch_has_multiple_uplinks_to_remote_host(self, fattree_routing):
+        topology, table = fattree_routing
+        rack = topology.host_rack("h0")
+        remote = "h15"
+        hops = table.next_hops(rack, remote)
+        assert len(hops) == 2  # k/2 aggregation switches
+        assert all(hop.startswith("agg") for hop in hops)
+
+    def test_unknown_route_raises(self, fattree_routing):
+        _, table = fattree_routing
+        with pytest.raises(KeyError):
+            table.next_hops("edge0_0", "not-a-host")
+
+    def test_path_is_valid_shortest_path(self, fattree_routing):
+        topology, table = fattree_routing
+        path = table.path("h0", "h15")
+        assert path[0] == "h0" and path[-1] == "h15"
+        for a, b in zip(path, path[1:]):
+            assert topology.graph.has_edge(a, b)
+        # Inter-pod paths in a fat-tree have 6 edges (host-edge-agg-core-agg-edge-host).
+        assert len(path) == 7
+
+    def test_path_same_host(self, fattree_routing):
+        _, table = fattree_routing
+        assert table.path("h0", "h0") == ["h0"]
+
+    def test_different_tie_breaks_can_take_different_paths(self, fattree_routing):
+        _, table = fattree_routing
+        paths = {tuple(table.path("h0", "h15", tie_break=t)) for t in range(8)}
+        assert len(paths) >= 2
+
+    def test_intra_rack_path_length(self, fattree_routing):
+        _, table = fattree_routing
+        path = table.path("h0", "h1")
+        assert len(path) == 3  # host - edge - host
+
+
+class TestNextHopSelection:
+    def test_single_hop_shortcut(self):
+        assert select_next_hop(RoutingMode.PACKET_SPRAY, ("a",), 1, 2, 3, 4) == "a"
+
+    def test_empty_hops_rejected(self):
+        with pytest.raises(ValueError):
+            select_next_hop(RoutingMode.ECMP_FLOW, (), 1, 2, 3, 4)
+
+    def test_single_path_mode_always_first(self):
+        hops = ("a", "b", "c")
+        for draw in range(10):
+            assert select_next_hop(RoutingMode.SINGLE_PATH, hops, draw, 0, 1, draw) == "a"
+
+    def test_ecmp_consistent_per_flow(self):
+        hops = ("a", "b", "c", "d")
+        choices = {
+            select_next_hop(RoutingMode.ECMP_FLOW, hops, 42, 1, 2, draw) for draw in range(20)
+        }
+        assert len(choices) == 1
+
+    def test_ecmp_spreads_across_flows(self):
+        hops = ("a", "b", "c", "d")
+        choices = {
+            select_next_hop(RoutingMode.ECMP_FLOW, hops, flow, 1, 2, 0) for flow in range(200)
+        }
+        assert choices == set(hops)
+
+    def test_spray_uses_draw(self):
+        hops = ("a", "b", "c", "d")
+        rng = random.Random(0)
+        counts = {hop: 0 for hop in hops}
+        for _ in range(400):
+            hop = select_next_hop(RoutingMode.PACKET_SPRAY, hops, 7, 1, 2, rng.getrandbits(30))
+            counts[hop] += 1
+        assert min(counts.values()) > 50  # roughly uniform
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash(1, 2, 3) == stable_hash(1, 2, 3)
+        assert stable_hash(1, 2, 3) != stable_hash(3, 2, 1)

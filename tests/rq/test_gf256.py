@@ -1,0 +1,116 @@
+"""Tests for GF(256) arithmetic, including field axioms via hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rq.gf256 import (
+    ALPHA,
+    OCT_EXP,
+    OCT_LOG,
+    alpha_power,
+    gf_div,
+    gf_inv,
+    gf_matvec,
+    gf_mul,
+    gf_pow,
+    gf_scale_rows,
+    gf_scale_vector,
+)
+
+field_elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_log_roundtrip(self):
+        for value in range(1, 256):
+            assert OCT_EXP[OCT_LOG[value]] == value
+
+    def test_exp_table_periodic(self):
+        for power in range(255):
+            assert OCT_EXP[power] == OCT_EXP[power + 255]
+
+    def test_alpha_is_generator(self):
+        seen = {alpha_power(i) for i in range(255)}
+        assert seen == set(range(1, 256))
+
+
+class TestScalarOps:
+    def test_multiply_by_zero_and_one(self):
+        for value in range(256):
+            assert gf_mul(value, 0) == 0
+            assert gf_mul(0, value) == 0
+            assert gf_mul(value, 1) == value
+
+    @given(field_elements, field_elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(field_elements, field_elements, field_elements)
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(nonzero_elements)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero_elements, nonzero_elements)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf_div(3, 0)
+
+    @given(nonzero_elements, st.integers(min_value=0, max_value=600))
+    def test_pow_matches_repeated_multiplication(self, a, exponent):
+        expected = 1
+        for _ in range(exponent % 255):
+            expected = gf_mul(expected, a)
+        # gf_pow reduces the exponent mod 255 internally (a^255 == 1).
+        assert gf_pow(a, exponent % 255) == expected
+
+    def test_alpha_power_matches_pow(self):
+        for exponent in range(0, 300, 7):
+            assert alpha_power(exponent) == gf_pow(ALPHA, exponent % 255)
+
+
+class TestVectorOps:
+    def test_scale_vector_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        vector = rng.integers(0, 256, 64, dtype=np.uint8)
+        for factor in (0, 1, 2, 37, 255):
+            scaled = gf_scale_vector(vector, factor)
+            expected = np.array([gf_mul(int(v), factor) for v in vector], dtype=np.uint8)
+            assert np.array_equal(scaled, expected)
+
+    def test_scale_rows_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 256, (5, 16), dtype=np.uint8)
+        factors = np.array([0, 1, 3, 128, 255], dtype=np.uint8)
+        scaled = gf_scale_rows(rows, factors)
+        for row_index in range(5):
+            expected = np.array(
+                [gf_mul(int(v), int(factors[row_index])) for v in rows[row_index]],
+                dtype=np.uint8,
+            )
+            assert np.array_equal(scaled[row_index], expected)
+
+    def test_scale_rows_requires_2d(self):
+        with pytest.raises(ValueError):
+            gf_scale_rows(np.zeros(4, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    def test_matvec_against_manual(self):
+        matrix = np.array([[1, 2], [0, 3]], dtype=np.uint8)
+        vector = np.array([5, 7], dtype=np.uint8)
+        result = gf_matvec(matrix, vector)
+        assert result[0] == gf_mul(1, 5) ^ gf_mul(2, 7)
+        assert result[1] == gf_mul(3, 7)

@@ -1,0 +1,73 @@
+"""Tests for the codec PRNG and degree distribution."""
+
+import pytest
+
+from repro.rq.degree import DEGREE_RANDOM_RANGE, DEGREE_TABLE, MAX_DEGREE, deg, degree_probabilities
+from repro.rq.rand import rand
+
+
+class TestRand:
+    def test_deterministic(self):
+        assert rand(12345, 3, 1000) == rand(12345, 3, 1000)
+
+    def test_within_modulus(self):
+        for y in range(0, 5000, 37):
+            for i in range(6):
+                assert 0 <= rand(y, i, 97) < 97
+
+    def test_different_streams_differ(self):
+        outcomes = {rand(42, i, 1 << 20) for i in range(8)}
+        assert len(outcomes) > 1
+
+    def test_different_seeds_differ(self):
+        outcomes = {rand(y, 0, 1 << 20) for y in range(50)}
+        assert len(outcomes) > 40
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            rand(1, 0, 0)
+
+    def test_roughly_uniform(self):
+        modulus = 10
+        counts = [0] * modulus
+        trials = 20_000
+        for y in range(trials):
+            counts[rand(y, 0, modulus)] += 1
+        for count in counts:
+            assert abs(count - trials / modulus) < trials / modulus * 0.15
+
+
+class TestDegreeDistribution:
+    def test_table_is_monotone(self):
+        assert list(DEGREE_TABLE) == sorted(DEGREE_TABLE)
+
+    def test_table_spans_full_range(self):
+        assert DEGREE_TABLE[0] == 0
+        assert DEGREE_TABLE[-1] == DEGREE_RANDOM_RANGE
+
+    def test_deg_returns_valid_degree(self):
+        w = 1000
+        for v in range(0, DEGREE_RANDOM_RANGE, 4099):
+            degree = deg(v, w)
+            assert 1 <= degree <= MAX_DEGREE
+
+    def test_deg_caps_at_w_minus_two(self):
+        assert deg(DEGREE_RANDOM_RANGE - 1, 10) <= 8
+
+    def test_deg_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            deg(-1, 100)
+        with pytest.raises(ValueError):
+            deg(DEGREE_RANDOM_RANGE, 100)
+
+    def test_degree_two_is_most_likely(self):
+        pmf = degree_probabilities()
+        assert pmf[2] == max(pmf.values())
+        assert pmf[2] > 0.4
+
+    def test_probabilities_sum_to_one(self):
+        assert sum(degree_probabilities().values()) == pytest.approx(1.0)
+
+    def test_low_degrees_dominate(self):
+        pmf = degree_probabilities()
+        assert sum(pmf[d] for d in range(1, 5)) > 0.75

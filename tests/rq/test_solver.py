@@ -1,0 +1,79 @@
+"""Tests for the GF(256) Gaussian-elimination solver."""
+
+import numpy as np
+import pytest
+
+from repro.rq.gf256 import gf_matvec
+from repro.rq.solver import SingularMatrixError, gaussian_rank, solve
+
+
+def random_invertible_matrix(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw random GF(256) matrices until one has full rank."""
+    while True:
+        matrix = rng.integers(0, 256, (size, size), dtype=np.uint8)
+        if gaussian_rank(matrix) == size:
+            return matrix
+
+
+class TestGaussianRank:
+    def test_identity_full_rank(self):
+        assert gaussian_rank(np.eye(8, dtype=np.uint8)) == 8
+
+    def test_zero_matrix_rank_zero(self):
+        assert gaussian_rank(np.zeros((5, 5), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows_reduce_rank(self):
+        matrix = np.eye(4, dtype=np.uint8)
+        matrix[3] = matrix[0]
+        assert gaussian_rank(matrix) == 3
+
+    def test_input_not_modified(self):
+        matrix = np.eye(4, dtype=np.uint8)
+        copy = matrix.copy()
+        gaussian_rank(matrix)
+        assert np.array_equal(matrix, copy)
+
+
+class TestSolve:
+    def test_identity_system(self):
+        values = np.arange(12, dtype=np.uint8).reshape(4, 3)
+        solution = solve(np.eye(4, dtype=np.uint8), values)
+        assert np.array_equal(solution, values)
+
+    @pytest.mark.parametrize("size", [4, 8, 16, 32])
+    def test_random_square_systems(self, size):
+        rng = np.random.default_rng(size)
+        matrix = random_invertible_matrix(size, rng)
+        expected = rng.integers(0, 256, (size, 5), dtype=np.uint8)
+        values = np.zeros_like(expected)
+        for column in range(expected.shape[1]):
+            values[:, column] = gf_matvec(matrix, expected[:, column])
+        solution = solve(matrix, values)
+        assert np.array_equal(solution, expected)
+
+    def test_overdetermined_consistent_system(self):
+        rng = np.random.default_rng(7)
+        matrix = random_invertible_matrix(6, rng)
+        expected = rng.integers(0, 256, (6, 2), dtype=np.uint8)
+        values = np.zeros_like(expected)
+        for column in range(2):
+            values[:, column] = gf_matvec(matrix, expected[:, column])
+        # Duplicate some equations: still solvable.
+        stacked_matrix = np.vstack([matrix, matrix[:3]])
+        stacked_values = np.vstack([values, values[:3]])
+        solution = solve(stacked_matrix, stacked_values, num_unknowns=6)
+        assert np.array_equal(solution, expected)
+
+    def test_singular_system_raises(self):
+        matrix = np.zeros((4, 4), dtype=np.uint8)
+        matrix[0, 0] = 1
+        with pytest.raises(SingularMatrixError):
+            solve(matrix, np.zeros((4, 1), dtype=np.uint8))
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve(np.eye(3, 5, dtype=np.uint8)[:3], np.zeros((3, 1), dtype=np.uint8))
+
+    def test_mismatched_rhs_raises(self):
+        with pytest.raises(ValueError):
+            solve(np.eye(4, dtype=np.uint8), np.zeros((3, 1), dtype=np.uint8))

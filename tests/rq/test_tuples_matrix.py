@@ -1,0 +1,100 @@
+"""Tests for the LT tuple generator and the pre-code constraint matrix."""
+
+import numpy as np
+import pytest
+
+from repro.rq.matrix import build_constraint_matrix, hdpc_rows, ldpc_rows, lt_row
+from repro.rq.params import for_k
+from repro.rq.tuples import lt_neighbours, make_tuple
+
+
+class TestTupleGenerator:
+    def test_deterministic(self):
+        params = for_k(32)
+        assert make_tuple(params, 5) == make_tuple(params, 5)
+
+    def test_fields_in_range(self):
+        params = for_k(64)
+        for isi in range(0, 500, 7):
+            t = make_tuple(params, isi)
+            assert 1 <= t.d <= 30
+            assert 1 <= t.a < params.num_lt_symbols
+            assert 0 <= t.b < params.num_lt_symbols
+            assert t.d1 in (2, 3)
+            assert 1 <= t.a1 < params.pi_prime
+            assert 0 <= t.b1 < params.pi_prime
+
+    def test_rejects_negative_isi(self):
+        with pytest.raises(ValueError):
+            make_tuple(for_k(16), -1)
+
+    def test_neighbours_valid_indices(self):
+        params = for_k(48)
+        for isi in range(200):
+            neighbours = lt_neighbours(params, isi)
+            assert neighbours, "every encoding symbol must have at least one neighbour"
+            assert len(set(neighbours)) == len(neighbours)
+            for index in neighbours:
+                assert 0 <= index < params.num_intermediate_symbols
+
+    def test_neighbour_sets_differ_across_symbols(self):
+        params = for_k(48)
+        distinct = {tuple(lt_neighbours(params, isi)) for isi in range(100)}
+        assert len(distinct) > 80
+
+
+class TestConstraintMatrix:
+    def test_shapes(self):
+        params = for_k(32)
+        assert ldpc_rows(params).shape == (
+            params.num_ldpc_symbols, params.num_intermediate_symbols
+        )
+        assert hdpc_rows(params).shape == (
+            params.num_hdpc_symbols, params.num_intermediate_symbols
+        )
+        assert build_constraint_matrix(params).shape == (
+            params.num_intermediate_symbols, params.num_intermediate_symbols
+        )
+
+    def test_ldpc_rows_are_binary_and_nonzero(self):
+        params = for_k(32)
+        rows = ldpc_rows(params)
+        assert set(np.unique(rows)) <= {0, 1}
+        assert all(row.sum() > 0 for row in rows)
+
+    def test_ldpc_identity_block_present(self):
+        params = for_k(32)
+        rows = ldpc_rows(params)
+        b = params.lt_non_ldpc_symbols
+        for i in range(params.num_ldpc_symbols):
+            assert rows[i, b + i] == 1
+
+    def test_hdpc_rows_have_identity_block(self):
+        params = for_k(32)
+        rows = hdpc_rows(params)
+        span = params.num_source_symbols + params.num_ldpc_symbols
+        for j in range(params.num_hdpc_symbols):
+            assert rows[j, span + j] == 1
+
+    def test_hdpc_rows_are_dense(self):
+        params = for_k(64)
+        rows = hdpc_rows(params)
+        span = params.num_source_symbols + params.num_ldpc_symbols
+        # GAMMA makes every HDPC row touch a large fraction of the first K+S columns.
+        for row in rows:
+            assert np.count_nonzero(row[:span]) > span // 2
+
+    def test_lt_rows_match_neighbours(self):
+        params = for_k(32)
+        from repro.rq.tuples import lt_neighbours
+
+        for isi in (0, 1, 17, 100):
+            row = lt_row(params, isi)
+            assert set(np.nonzero(row)[0]) == set(lt_neighbours(params, isi))
+
+    def test_last_k_rows_are_source_lt_rows(self):
+        params = for_k(16)
+        matrix = build_constraint_matrix(params)
+        offset = params.num_ldpc_symbols + params.num_hdpc_symbols
+        for isi in range(params.num_source_symbols):
+            assert np.array_equal(matrix[offset + isi], lt_row(params, isi))

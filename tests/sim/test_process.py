@@ -1,0 +1,91 @@
+"""Tests for timers and periodic processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_pushes_expiry_back(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.restart(2.0))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_running_and_expiry_time(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        assert timer.expiry_time is None
+        timer.start(5.0)
+        assert timer.running
+        assert timer.expiry_time == 5.0
+
+    def test_not_running_after_fire(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(1.0)
+        sim.run()
+        assert not timer.running
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append)
+        process.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append)
+        process.start(initial_delay=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append)
+        process.start()
+        sim.schedule(2.5, process.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert not process.running
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, ticks.append)
+        process.start()
+        process.start()
+        sim.run(until=1.5)
+        assert ticks == [1.0]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(Simulator(), 0.0, lambda now: None)

@@ -1,0 +1,81 @@
+"""Tests for named seeded random streams."""
+
+import pytest
+
+from repro.sim.randomness import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRandomStreams:
+    def test_same_stream_object_returned(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(3)
+        b = RandomStreams(3)
+        assert [a.stream("s").random() for _ in range(5)] == [
+            b.stream("s").random() for _ in range(5)
+        ]
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(3)
+        # Drawing from one stream must not perturb another.
+        before = RandomStreams(3).stream("b").random()
+        streams.stream("a").random()
+        assert streams.stream("b").random() == before
+
+    def test_spawn_creates_distinct_namespace(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("child")
+        assert child.master_seed != parent.master_seed
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_uniform_in_range(self):
+        streams = RandomStreams(1)
+        for _ in range(100):
+            value = streams.uniform("u", 2.0, 3.0)
+            assert 2.0 <= value < 3.0
+
+    def test_exponential_positive_and_mean(self):
+        streams = RandomStreams(1)
+        samples = [streams.exponential("e", 100.0) for _ in range(2000)]
+        assert all(sample > 0 for sample in samples)
+        assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.2)
+
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomStreams(1).exponential("e", 0)
+
+    def test_choice_and_sample(self):
+        streams = RandomStreams(2)
+        options = ["a", "b", "c", "d"]
+        assert streams.choice("c", options) in options
+        picked = streams.sample("s", options, 2)
+        assert len(picked) == 2
+        assert len(set(picked)) == 2
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStreams(1).choice("c", [])
+
+    def test_permutation_is_permutation(self):
+        streams = RandomStreams(4)
+        perm = streams.permutation("p", 50)
+        assert sorted(perm) == list(range(50))
+
+    def test_poisson_process_strictly_increasing(self):
+        streams = RandomStreams(9)
+        process = streams.poisson_process("pp", 1000.0)
+        times = [next(process) for _ in range(100)]
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))

@@ -1,0 +1,44 @@
+"""Tests for the structured trace log."""
+
+from repro.sim.trace import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_disabled_by_default(self):
+        trace = TraceLog()
+        trace.record(0.0, "anything", key="value")
+        assert len(trace) == 0
+
+    def test_enabled_records(self):
+        trace = TraceLog(enabled=True)
+        trace.record(1.0, "switch.trim", switch="edge0_0")
+        assert len(trace) == 1
+        assert trace.events[0].category == "switch.trim"
+        assert trace.events[0].details["switch"] == "edge0_0"
+
+    def test_category_filtering_on_record(self):
+        trace = TraceLog(enabled=True, categories={"a"})
+        trace.record(0.0, "a")
+        trace.record(0.0, "b")
+        assert trace.count("a") == 1
+        assert trace.count("b") == 0
+
+    def test_filter_and_count(self):
+        trace = TraceLog(enabled=True)
+        for _ in range(3):
+            trace.record(0.0, "x")
+        trace.record(0.0, "y")
+        assert trace.count("x") == 3
+        assert len(trace.filter("y")) == 1
+
+    def test_clear(self):
+        trace = TraceLog(enabled=True)
+        trace.record(0.0, "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_event_str_contains_details(self):
+        event = TraceEvent(time=1.5, category="drop", details={"port": "p1"})
+        rendered = str(event)
+        assert "drop" in rendered
+        assert "port=p1" in rendered

@@ -1,0 +1,69 @@
+"""Tests for the transfer registry."""
+
+import pytest
+
+from repro.transport.base import TransferRegistry
+
+
+class TestTransferRegistry:
+    def test_record_lifecycle(self):
+        registry = TransferRegistry()
+        record = registry.record_start(1, 1_000_000, 0.5, protocol="tcp", label="fg")
+        assert not record.completed
+        registry.record_completion(1, 1.5)
+        assert record.completed
+        assert record.flow_completion_time == pytest.approx(1.0)
+        assert record.goodput_bps == pytest.approx(8_000_000)
+        assert record.goodput_gbps == pytest.approx(0.008)
+
+    def test_duplicate_start_rejected(self):
+        registry = TransferRegistry()
+        registry.record_start(1, 100, 0.0)
+        with pytest.raises(ValueError):
+            registry.record_start(1, 100, 0.0)
+
+    def test_duplicate_completion_rejected(self):
+        registry = TransferRegistry()
+        registry.record_start(1, 100, 0.0)
+        registry.record_completion(1, 1.0)
+        with pytest.raises(ValueError):
+            registry.record_completion(1, 2.0)
+
+    def test_completion_of_unknown_transfer_rejected(self):
+        with pytest.raises(KeyError):
+            TransferRegistry().record_completion(9, 1.0)
+
+    def test_goodput_of_incomplete_transfer_raises(self):
+        registry = TransferRegistry()
+        record = registry.record_start(1, 100, 0.0)
+        with pytest.raises(ValueError):
+            _ = record.goodput_bps
+
+    def test_filters_and_fractions(self):
+        registry = TransferRegistry()
+        registry.record_start(1, 100, 0.0, label="a")
+        registry.record_start(2, 100, 0.0, label="b")
+        registry.record_start(3, 100, 0.0, label="a")
+        registry.record_completion(1, 1.0)
+        registry.record_completion(2, 2.0)
+        assert len(registry) == 3
+        assert len(registry.completed_records) == 2
+        assert len(registry.incomplete_records) == 1
+        assert registry.completion_fraction() == pytest.approx(2 / 3)
+        assert len(registry.goodputs_gbps("a")) == 1
+        assert len(registry.goodputs_gbps()) == 2
+
+    def test_contains_and_get(self):
+        registry = TransferRegistry()
+        registry.record_start(5, 10, 0.0)
+        assert 5 in registry
+        assert 6 not in registry
+        assert registry.get(5).transfer_bytes == 10
+
+    def test_empty_completion_fraction(self):
+        assert TransferRegistry().completion_fraction() == 0.0
+
+    def test_metadata_stored(self):
+        registry = TransferRegistry()
+        record = registry.record_start(1, 10, 0.0, replicas=3)
+        assert record.metadata == {"replicas": 3}

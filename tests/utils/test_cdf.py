@@ -1,0 +1,94 @@
+"""Tests for the CDF / rank-curve helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.cdf import Cdf, confidence_interval_95, rank_curve
+
+
+class TestCdf:
+    def test_from_samples_sorts(self):
+        cdf = Cdf.from_samples([3.0, 1.0, 2.0])
+        assert cdf.values == (1.0, 2.0, 3.0)
+
+    def test_len(self):
+        assert len(Cdf.from_samples([1, 2, 3, 4])) == 4
+
+    def test_median_odd(self):
+        assert Cdf.from_samples([5, 1, 3]).median() == 3
+
+    def test_mean(self):
+        assert Cdf.from_samples([1, 2, 3, 4]).mean() == pytest.approx(2.5)
+
+    def test_quantile_extremes(self):
+        cdf = Cdf.from_samples(range(100))
+        assert cdf.quantile(0.0) == 0
+        assert cdf.quantile(1.0) == 99
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([1]).quantile(1.5)
+
+    def test_empty_cdf_raises(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([]).mean()
+        with pytest.raises(ValueError):
+            Cdf.from_samples([]).quantile(0.5)
+
+    def test_fraction_at_or_below(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == pytest.approx(0.5)
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(10) == 1.0
+
+    def test_points_monotone(self):
+        points = Cdf.from_samples([5, 3, 1]).points()
+        values = [v for v, _ in points]
+        probabilities = [p for _, p in points]
+        assert values == sorted(values)
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_quantiles_are_samples(self, samples):
+        cdf = Cdf.from_samples(samples)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert cdf.quantile(q) in cdf.values
+
+
+class TestRankCurve:
+    def test_rank_curve_sorted_ascending(self):
+        curve = rank_curve([0.9, 0.1, 0.5])
+        assert curve == [(0, 0.1), (1, 0.5), (2, 0.9)]
+
+    def test_rank_curve_empty(self):
+        assert rank_curve([]) == []
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), max_size=100))
+    def test_rank_curve_preserves_multiset(self, samples):
+        curve = rank_curve(samples)
+        assert sorted(value for _, value in curve) == sorted(samples)
+        assert [rank for rank, _ in curve] == list(range(len(samples)))
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half_width = confidence_interval_95([4.2])
+        assert mean == 4.2
+        assert half_width == 0.0
+
+    def test_identical_samples_zero_width(self):
+        mean, half_width = confidence_interval_95([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert half_width == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # Samples 1..5: mean 3, sample std sqrt(2.5), stderr sqrt(0.5).
+        mean, half_width = confidence_interval_95([1, 2, 3, 4, 5])
+        assert mean == pytest.approx(3.0)
+        assert half_width == pytest.approx(1.96 * (2.5 / 5) ** 0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95([])

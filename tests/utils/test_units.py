@@ -1,0 +1,78 @@
+"""Tests for unit conversions and formatting."""
+
+import pytest
+
+from repro.utils.units import (
+    BITS_PER_BYTE,
+    GBPS,
+    GIGABYTE,
+    KILOBYTE,
+    MBPS,
+    MEGABYTE,
+    MICROSECOND,
+    MILLISECOND,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bytes,
+    format_rate,
+    format_time,
+    serialization_delay,
+)
+
+
+class TestConversions:
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1) == 8
+        assert bytes_to_bits(1500) == 12000
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(8) == 1
+        assert bits_to_bytes(12000) == 1500
+
+    def test_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(12345)) == 12345
+
+    def test_constants_consistent(self):
+        assert BITS_PER_BYTE == 8
+        assert GIGABYTE == 1000 * MEGABYTE == 1_000_000 * KILOBYTE
+        assert GBPS == 1000 * MBPS
+
+
+class TestSerializationDelay:
+    def test_full_packet_on_gigabit(self):
+        # 1500 bytes at 1 Gbps = 12 microseconds.
+        assert serialization_delay(1500, 1 * GBPS) == pytest.approx(12 * MICROSECOND)
+
+    def test_scales_inversely_with_rate(self):
+        assert serialization_delay(1500, 10 * GBPS) == pytest.approx(1.2 * MICROSECOND)
+
+    def test_zero_bytes(self):
+        assert serialization_delay(0, GBPS) == 0.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            serialization_delay(1500, 0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            serialization_delay(1500, -1)
+
+
+class TestFormatting:
+    def test_format_time_prefixes(self):
+        assert format_time(0) == "0s"
+        assert format_time(1.5).endswith("s")
+        assert "ms" in format_time(3 * MILLISECOND)
+        assert "us" in format_time(12 * MICROSECOND)
+        assert "ns" in format_time(5e-9)
+
+    def test_format_bytes_prefixes(self):
+        assert format_bytes(500) == "500B"
+        assert "KB" in format_bytes(2 * KILOBYTE)
+        assert "MB" in format_bytes(4 * MEGABYTE)
+        assert "GB" in format_bytes(2 * GIGABYTE)
+
+    def test_format_rate_prefixes(self):
+        assert "Gbps" in format_rate(1 * GBPS)
+        assert "Mbps" in format_rate(30 * MBPS)
+        assert format_rate(100) == "100bps"

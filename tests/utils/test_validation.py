@@ -1,0 +1,39 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 5) == 5
+        assert check_positive("x", 0.001) == 0.001
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("y", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="y"):
+            check_non_negative("y", -0.5)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        assert check_probability("p", 0.5) == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)

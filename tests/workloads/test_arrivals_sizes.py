@@ -1,0 +1,86 @@
+"""Tests for arrival processes and flow-size distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads.arrivals import PoissonArrivals, UniformArrivals, synchronised_arrivals
+from repro.workloads.flowsize import FixedSize, ParetoSize, UniformSize
+
+
+class TestPoissonArrivals:
+    def test_times_increasing(self):
+        times = PoissonArrivals(1000.0).times(200, random.Random(1))
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+    def test_mean_interarrival_matches_rate(self):
+        rate = 2560.0
+        times = PoissonArrivals(rate).times(5000, random.Random(2))
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(1 / rate, rel=0.1)
+
+    def test_start_offset(self):
+        times = PoissonArrivals(10.0).times(5, random.Random(3), start=100.0)
+        assert all(t > 100.0 for t in times)
+
+    def test_count_zero(self):
+        assert PoissonArrivals(10.0).times(0, random.Random(1)) == []
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).times(-1, random.Random(1))
+
+
+class TestUniformAndSynchronised:
+    def test_uniform_spacing(self):
+        times = UniformArrivals(0.5).times(4, random.Random(1))
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_uniform_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(0)
+
+    def test_synchronised(self):
+        assert synchronised_arrivals(3, start=2.0) == [2.0, 2.0, 2.0]
+
+    def test_synchronised_rejects_negative(self):
+        with pytest.raises(ValueError):
+            synchronised_arrivals(-1)
+
+
+class TestFlowSizes:
+    def test_fixed(self):
+        assert FixedSize(4_000_000).sample(random.Random(1)) == 4_000_000
+
+    def test_fixed_rejects_bad(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+    def test_uniform_in_bounds(self):
+        dist = UniformSize(100, 200)
+        rng = random.Random(4)
+        for _ in range(100):
+            assert 100 <= dist.sample(rng) <= 200
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformSize(200, 100)
+
+    def test_pareto_in_bounds_and_skewed(self):
+        dist = ParetoSize(10_000, 10_000_000, shape=1.2)
+        rng = random.Random(5)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert all(10_000 <= value <= 10_000_000 for value in samples)
+        # Heavy tail: the mean greatly exceeds the median.
+        samples.sort()
+        median = samples[len(samples) // 2]
+        mean = sum(samples) / len(samples)
+        assert mean > 1.5 * median
+
+    def test_pareto_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ParetoSize(10, 100, shape=0)

@@ -1,0 +1,132 @@
+"""Tests for storage, Incast and background workload generators."""
+
+import random
+
+import pytest
+
+from repro.network.topology import FatTreeTopology
+from repro.workloads.background import background_transfers
+from repro.workloads.incast import incast_transfers
+from repro.workloads.spec import TransferKind
+from repro.workloads.storage import StorageWorkload, replica_placement, storage_transfer_summary
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return FatTreeTopology(4)
+
+
+class TestReplicaPlacement:
+    def test_replicas_outside_client_rack(self, topology):
+        rng = random.Random(1)
+        for _ in range(50):
+            replicas = replica_placement(topology, "h0", 3, rng)
+            rackmates = set(topology.hosts_in_same_rack("h0"))
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert not rackmates.intersection(replicas)
+
+    def test_too_many_replicas_rejected(self, topology):
+        with pytest.raises(ValueError):
+            replica_placement(topology, "h0", 15, random.Random(1))
+
+    def test_zero_replicas_rejected(self, topology):
+        with pytest.raises(ValueError):
+            replica_placement(topology, "h0", 0, random.Random(1))
+
+
+class TestStorageWorkload:
+    def test_generates_requested_count_with_poisson_arrivals(self, topology):
+        workload = StorageWorkload(
+            kind=TransferKind.REPLICATE, num_replicas=3,
+            object_bytes=4_000_000, arrival_rate_per_second=2560,
+        )
+        transfers = workload.generate(topology, 100, random.Random(2))
+        assert len(transfers) == 100
+        times = [spec.start_time for spec in transfers]
+        assert times == sorted(times)
+        assert all(spec.kind is TransferKind.REPLICATE for spec in transfers)
+        assert all(spec.num_peers == 3 for spec in transfers)
+        assert all(spec.size_bytes == 4_000_000 for spec in transfers)
+
+    def test_clients_follow_permutation_rounds(self, topology):
+        workload = StorageWorkload(
+            kind=TransferKind.FETCH, num_replicas=1,
+            object_bytes=1_000, arrival_rate_per_second=100,
+        )
+        transfers = workload.generate(topology, 16, random.Random(3))
+        clients = [spec.client for spec in transfers]
+        # 16 transfers over a 16-host topology: every host is a client once.
+        assert sorted(clients) == sorted(topology.hosts)
+
+    def test_transfer_ids_sequential_from_offset(self, topology):
+        workload = StorageWorkload(
+            kind=TransferKind.REPLICATE, num_replicas=1,
+            object_bytes=1_000, arrival_rate_per_second=100,
+        )
+        transfers = workload.generate(topology, 5, random.Random(4), first_transfer_id=50)
+        assert [spec.transfer_id for spec in transfers] == [50, 51, 52, 53, 54]
+
+    def test_rejects_unicast_kind(self):
+        with pytest.raises(ValueError):
+            StorageWorkload(kind=TransferKind.UNICAST, num_replicas=1,
+                            object_bytes=1, arrival_rate_per_second=1)
+
+    def test_summary(self, topology):
+        workload = StorageWorkload(
+            kind=TransferKind.REPLICATE, num_replicas=1,
+            object_bytes=1_000, arrival_rate_per_second=100,
+        )
+        transfers = workload.generate(topology, 10, random.Random(5))
+        summary = storage_transfer_summary(transfers)
+        assert summary["count"] == 10
+        assert summary["total_bytes"] == 10_000
+        assert storage_transfer_summary([])["count"] == 0
+
+
+class TestIncastWorkload:
+    def test_scenario_and_transfers_consistent(self, topology):
+        scenario, transfers = incast_transfers(
+            topology, num_senders=8, response_bytes=70_000, rng=random.Random(1)
+        )
+        assert scenario.num_senders == 8
+        assert scenario.total_bytes == 8 * 70_000
+        assert len(transfers) == 8
+        assert all(spec.peers == (scenario.aggregator,) for spec in transfers)
+        assert all(spec.start_time == 0.0 for spec in transfers)
+        assert scenario.aggregator not in scenario.senders
+
+    def test_explicit_aggregator(self, topology):
+        scenario, _ = incast_transfers(
+            topology, 4, 1000, random.Random(1), aggregator="h3"
+        )
+        assert scenario.aggregator == "h3"
+
+    def test_too_many_senders_rejected(self, topology):
+        with pytest.raises(ValueError):
+            incast_transfers(topology, 99, 1000, random.Random(1))
+
+    def test_bad_parameters_rejected(self, topology):
+        with pytest.raises(ValueError):
+            incast_transfers(topology, 0, 1000, random.Random(1))
+        with pytest.raises(ValueError):
+            incast_transfers(topology, 2, 0, random.Random(1))
+
+
+class TestBackgroundTraffic:
+    def test_generates_unicast_background_specs(self, topology):
+        transfers = background_transfers(
+            topology, 10, 64_000, 100.0, random.Random(1), first_transfer_id=1000
+        )
+        assert len(transfers) == 10
+        assert all(spec.kind is TransferKind.UNICAST for spec in transfers)
+        assert all(spec.is_background for spec in transfers)
+        assert all(spec.label == "background" for spec in transfers)
+        assert [spec.transfer_id for spec in transfers] == list(range(1000, 1010))
+
+    def test_zero_count(self, topology):
+        assert background_transfers(topology, 0, 1000, 1.0, random.Random(1)) == []
+
+    def test_rejects_bad_size(self, topology):
+        with pytest.raises(ValueError):
+            background_transfers(topology, 1, 0, 1.0, random.Random(1))

@@ -1,0 +1,75 @@
+"""Tests for traffic matrices and transfer specifications."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.spec import TransferKind, TransferSpec
+from repro.workloads.traffic_matrix import permutation_pairs, repeated_permutation_pairs
+
+
+class TestPermutationPairs:
+    def test_is_a_derangement(self):
+        hosts = [f"h{i}" for i in range(20)]
+        pairs = permutation_pairs(hosts, random.Random(1))
+        sources = [src for src, _ in pairs]
+        destinations = [dst for _, dst in pairs]
+        assert sources == hosts
+        assert sorted(destinations) == sorted(hosts)
+        assert all(src != dst for src, dst in pairs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(count=st.integers(min_value=2, max_value=50), seed=st.integers(0, 1000))
+    def test_derangement_property(self, count, seed):
+        hosts = [f"h{i}" for i in range(count)]
+        pairs = permutation_pairs(hosts, random.Random(seed))
+        assert all(src != dst for src, dst in pairs)
+        assert sorted(dst for _, dst in pairs) == sorted(hosts)
+
+    def test_rejects_tiny_host_sets(self):
+        with pytest.raises(ValueError):
+            permutation_pairs(["only"], random.Random(1))
+
+    def test_repeated_pairs_cover_requested_count(self):
+        hosts = [f"h{i}" for i in range(8)]
+        pairs = repeated_permutation_pairs(hosts, 20, random.Random(2))
+        assert len(pairs) == 20
+        # Each full round is itself a permutation.
+        first_round = pairs[:8]
+        assert sorted(dst for _, dst in first_round) == sorted(hosts)
+
+    def test_repeated_pairs_negative_count(self):
+        with pytest.raises(ValueError):
+            repeated_permutation_pairs(["a", "b"], -1, random.Random(1))
+
+
+class TestTransferSpec:
+    def test_valid_spec(self):
+        spec = TransferSpec(
+            transfer_id=1, kind=TransferKind.REPLICATE, client="h0",
+            peers=("h1", "h2"), size_bytes=1000, start_time=0.5,
+        )
+        assert spec.num_peers == 2
+        assert not spec.is_background
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            TransferSpec(1, TransferKind.UNICAST, "h0", ("h1",), 0, 0.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            TransferSpec(1, TransferKind.UNICAST, "h0", ("h1",), 10, -1.0)
+
+    def test_rejects_no_peers(self):
+        with pytest.raises(ValueError):
+            TransferSpec(1, TransferKind.UNICAST, "h0", (), 10, 0.0)
+
+    def test_rejects_self_peer(self):
+        with pytest.raises(ValueError):
+            TransferSpec(1, TransferKind.UNICAST, "h0", ("h0",), 10, 0.0)
+
+    def test_unicast_requires_single_peer(self):
+        with pytest.raises(ValueError):
+            TransferSpec(1, TransferKind.UNICAST, "h0", ("h1", "h2"), 10, 0.0)
