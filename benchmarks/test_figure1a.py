@@ -11,7 +11,7 @@ from __future__ import annotations
 from benchmarks.conftest import publish
 from repro.experiments.config import Protocol
 from repro.experiments.figure1a import run_figure1a
-from repro.experiments.report import format_rank_figure
+from repro.experiments.report import format_codec_stats, format_rank_figure
 
 
 def test_figure1a_replication(benchmark, config):
@@ -27,7 +27,10 @@ def test_figure1a_replication(benchmark, config):
     tcp3 = result.summary(Protocol.TCP, 3).mean_gbps
     ratio_lines.append(f"RQ  3-replica/1-replica goodput ratio: {rq3 / rq1:.2f}")
     ratio_lines.append(f"TCP 3-replica/1-replica goodput ratio: {tcp3 / tcp1:.2f}")
-    publish("figure1a", text + "\n" + "\n".join(ratio_lines))
+    codec_table = format_codec_stats(
+        {label: run.codec_stats for label, run in result.runs.items()}
+    )
+    publish("figure1a", text + "\n" + "\n".join(ratio_lines) + "\n" + codec_table)
 
     # Paper shape assertions.
     assert rq1 > tcp1, "Polyraptor must outperform TCP with a single replica"

@@ -1,4 +1,9 @@
-"""Setuptools shim for environments without PEP 660 editable-install support."""
+"""Setuptools shim for environments without PEP 660 editable-install support.
+
+All package metadata lives in pyproject.toml.  Normal environments should
+``pip install -e .``; offline containers without the ``wheel`` package can
+fall back to ``python setup.py develop`` (or set ``PYTHONPATH=src``).
+"""
 
 from setuptools import setup
 

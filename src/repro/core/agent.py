@@ -11,6 +11,7 @@ from repro.core.receiver import ReceiverSession
 from repro.core.sender import SenderSession
 from repro.network.host import Host
 from repro.network.packet import Packet
+from repro.rq.backend import CodecContext
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
 from repro.transport.base import TransferRegistry
@@ -41,12 +42,17 @@ class PolyraptorAgent:
         config: Optional[PolyraptorConfig] = None,
         registry: Optional[TransferRegistry] = None,
         trace: Optional[TraceLog] = None,
+        codec_context: Optional[CodecContext] = None,
     ) -> None:
         self.sim = sim
         self.host = host
         self.config = config or PolyraptorConfig()
         self.registry = registry
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        # One CodecContext is normally shared by every agent of a simulation
+        # (the runner passes it in) so all sessions amortise one plan cache;
+        # a per-agent context is created only for standalone agents.
+        self.codec = codec_context or CodecContext(self.config.codec_backend)
         self.pacer = PullPacer(sim, host, self.config)
         self._senders: dict[int, SenderSession] = {}
         self._receivers: dict[int, ReceiverSession] = {}

@@ -47,6 +47,10 @@ class PolyraptorConfig:
             can never diverge by more than roughly the initial window (the
             sender is pull-clocked), this should be set below
             ``initial_window_symbols``.
+        codec_backend: which registered RQ codec backend sessions use when no
+            shared :class:`~repro.rq.backend.CodecContext` is supplied:
+            ``"planned"`` (elimination-plan cache + batched replay, the
+            default) or ``"reference"`` (full per-block elimination).
     """
 
     symbol_size_bytes: int = DEFAULT_SYMBOL_SIZE
@@ -61,8 +65,16 @@ class PolyraptorConfig:
     stall_timeout_s: float = 500 * MICROSECOND
     straggler_detection: bool = False
     straggler_lag_symbols: int = 12
+    codec_backend: str = "planned"
 
     def __post_init__(self) -> None:
+        from repro.rq.backend import available_backends
+
+        if self.codec_backend not in available_backends():
+            raise ValueError(
+                f"unknown codec_backend {self.codec_backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         check_positive("symbol_size_bytes", self.symbol_size_bytes)
         check_positive("header_bytes", self.header_bytes)
         check_positive("initial_window_symbols", self.initial_window_symbols)

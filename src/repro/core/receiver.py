@@ -64,7 +64,7 @@ class ReceiverSession:
 
         self._decoder: Optional[ObjectDecoder] = None
         if self.config.carry_payload:
-            self._decoder = ObjectDecoder(self.oti)
+            self._decoder = ObjectDecoder(self.oti, context=agent.codec)
         self.received_data: Optional[bytes] = None
 
         self.completed = False

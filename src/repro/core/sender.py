@@ -101,6 +101,7 @@ class SenderSession:
                 object_data,
                 symbol_size=self.config.symbol_size_bytes,
                 max_symbols_per_block=self.config.max_symbols_per_block,
+                context=agent.codec,
             )
 
         self.completed = False

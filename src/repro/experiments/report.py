@@ -7,7 +7,7 @@ rows/series the paper's figures report.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.experiments.ablations import AblationPoint, OverheadPoint
 from repro.experiments.figure1a import Figure1aResult
@@ -73,6 +73,40 @@ def format_ablation(points: Sequence[AblationPoint], title: str) -> str:
         for point in points
     ]
     table = _format_table(["configuration", "goodput Gbps", "trimmed", "dropped"], rows)
+    return f"{title}\n{table}"
+
+
+def format_codec_stats(
+    stats_by_label: Mapping[str, Optional[dict]],
+    title: str = "RQ codec backend / plan cache",
+) -> str:
+    """Render per-run codec statistics (backend, plan-cache hits/misses).
+
+    Runs without codec work (TCP baselines) render as ``-`` rows, so the
+    table always lists every series of an experiment.
+    """
+    rows = []
+    for label in sorted(stats_by_label):
+        stats = stats_by_label[label]
+        if not stats:
+            rows.append([label, "-", "-", "-", "-", "-", "-"])
+            continue
+        cache = stats.get("plan_cache", {})
+        rows.append(
+            [
+                label,
+                str(stats.get("backend", "?")),
+                str(stats.get("blocks_encoded", 0)),
+                str(stats.get("blocks_decoded", 0)),
+                str(cache.get("hits", 0)),
+                str(cache.get("misses", 0)),
+                f"{cache.get('hit_rate', 0.0):.3f}",
+            ]
+        )
+    table = _format_table(
+        ["series", "backend", "blocks enc", "blocks dec", "plan hits", "plan misses", "hit rate"],
+        rows,
+    )
     return f"{title}\n{table}"
 
 

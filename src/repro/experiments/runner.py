@@ -15,11 +15,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.agent import PolyraptorAgent
 from repro.core.config import PolyraptorConfig
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.network.network import Network
 from repro.network.topology import FatTreeTopology, Topology
+from repro.rq.backend import CodecContext
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import TraceLog
@@ -43,6 +46,9 @@ class RunResult:
     num_hosts: int
     trace: Optional[TraceLog] = None
     metadata: dict = field(default_factory=dict)
+    #: Codec-layer statistics (backend name, plan-cache hits/misses) for
+    #: Polyraptor runs; ``None`` for TCP runs, which do no coding.
+    codec_stats: Optional[dict] = None
 
     @property
     def completion_fraction(self) -> float:
@@ -63,6 +69,8 @@ class _Environment:
     registry: TransferRegistry
     polyraptor_agents: dict[str, PolyraptorAgent]
     tcp_agents: dict[str, TcpAgent]
+    codec_context: Optional[CodecContext] = None
+    polyraptor_config: Optional[PolyraptorConfig] = None
 
 
 def build_environment(
@@ -80,10 +88,18 @@ def build_environment(
     registry = TransferRegistry()
     polyraptor_agents: dict[str, PolyraptorAgent] = {}
     tcp_agents: dict[str, TcpAgent] = {}
+    codec_context: Optional[CodecContext] = None
+    pcfg: Optional[PolyraptorConfig] = None
     if protocol is Protocol.POLYRAPTOR:
         pcfg = polyraptor_config or config.polyraptor
+        # One shared codec context per simulation: every session of every
+        # agent draws elimination plans from the same cache, so the cost of
+        # factorising a K' is paid once per run rather than once per block.
+        codec_context = CodecContext(pcfg.codec_backend)
         for host in network.hosts:
-            polyraptor_agents[host.name] = PolyraptorAgent(sim, host, pcfg, registry, trace)
+            polyraptor_agents[host.name] = PolyraptorAgent(
+                sim, host, pcfg, registry, trace, codec_context=codec_context
+            )
     else:
         for host in network.hosts:
             tcp_agents[host.name] = TcpAgent(sim, host, config.tcp, registry)
@@ -93,14 +109,27 @@ def build_environment(
         registry=registry,
         polyraptor_agents=polyraptor_agents,
         tcp_agents=tcp_agents,
+        codec_context=codec_context,
+        polyraptor_config=pcfg,
     )
+
+
+def _object_payload(spec: TransferSpec) -> bytes:
+    """Deterministic pseudo-random object bytes for payload-carrying runs."""
+    rng = np.random.default_rng(spec.transfer_id + 0x5EED)
+    return rng.integers(0, 256, spec.size_bytes, dtype=np.uint8).tobytes()
 
 
 def _start_polyraptor_transfer(env: _Environment, spec: TransferSpec) -> None:
     network = env.network
     agents = env.polyraptor_agents
     peer_ids = [network.host_id(peer) for peer in spec.peers]
+    carry_payload = env.polyraptor_config is not None and env.polyraptor_config.carry_payload
     if spec.kind is TransferKind.FETCH:
+        if carry_payload:
+            payload = _object_payload(spec)
+            for peer in spec.peers:
+                agents[peer].store_object(spec.transfer_id, payload)
         agents[spec.client].start_fetch_session(
             spec.transfer_id, spec.size_bytes, peer_ids, label=spec.label
         )
@@ -115,6 +144,7 @@ def _start_polyraptor_transfer(env: _Environment, spec: TransferSpec) -> None:
         peer_ids,
         multicast_group=multicast_group,
         label=spec.label,
+        object_data=_object_payload(spec) if carry_payload else None,
     )
 
 
@@ -203,6 +233,7 @@ def run_transfers(
         dropped_packets=env.network.total_dropped_packets,
         num_hosts=env.network.num_hosts,
         trace=trace,
+        codec_stats=env.codec_context.stats_dict() if env.codec_context else None,
     )
 
 

@@ -35,10 +35,21 @@ High-level usage::
 """
 
 from repro.rq.api import decode_object, encode_object
+from repro.rq.backend import (
+    DEFAULT_BACKEND,
+    CodecBackend,
+    CodecContext,
+    available_backends,
+    create_backend,
+    default_context,
+    register_backend,
+    set_default_backend,
+)
 from repro.rq.block import EncodedSymbol, ObjectDecoder, ObjectEncoder, ObjectTransmissionInfo
 from repro.rq.decoder import BlockDecoder, DecodeFailure, DecodeResult
 from repro.rq.encoder import BlockEncoder
 from repro.rq.params import CodeParameters
+from repro.rq.plan import EliminationPlan, PlanCache, build_plan
 
 __all__ = [
     "CodeParameters",
@@ -52,4 +63,15 @@ __all__ = [
     "EncodedSymbol",
     "encode_object",
     "decode_object",
+    "CodecBackend",
+    "CodecContext",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "create_backend",
+    "default_context",
+    "register_backend",
+    "set_default_backend",
+    "EliminationPlan",
+    "PlanCache",
+    "build_plan",
 ]

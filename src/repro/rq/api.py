@@ -8,7 +8,7 @@ symbols on demand.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.rq.block import (
     DEFAULT_MAX_SYMBOLS_PER_BLOCK,
@@ -19,29 +19,40 @@ from repro.rq.block import (
     ObjectTransmissionInfo,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rq.backend import CodecContext
+
 
 def encode_object(
     data: bytes,
     symbol_size: int = DEFAULT_SYMBOL_SIZE,
     repair_symbols_per_block: int = 0,
     max_symbols_per_block: int = DEFAULT_MAX_SYMBOLS_PER_BLOCK,
+    context: Optional["CodecContext"] = None,
 ) -> tuple[ObjectTransmissionInfo, list[EncodedSymbol]]:
     """Encode ``data`` and return its OTI plus a list of encoding symbols.
 
     The returned list contains every source symbol followed by
-    ``repair_symbols_per_block`` repair symbols per block.
+    ``repair_symbols_per_block`` repair symbols per block.  Each block is
+    produced with one batched symbol-plane pass.
     """
     encoder = ObjectEncoder(data, symbol_size=symbol_size,
-                            max_symbols_per_block=max_symbols_per_block)
-    symbols = list(encoder.source_symbols())
+                            max_symbols_per_block=max_symbols_per_block,
+                            context=context)
+    symbols: list[EncodedSymbol] = []
     for block_number in range(encoder.num_blocks):
         k = encoder.oti.block_symbol_count(block_number)
-        symbols.extend(encoder.repair_symbols(block_number, k, repair_symbols_per_block))
+        symbols.extend(encoder.symbol_block(block_number, list(range(k))))
+    for block_number in range(encoder.num_blocks):
+        k = encoder.oti.block_symbol_count(block_number)
+        repair_esis = list(range(k, k + repair_symbols_per_block))
+        symbols.extend(encoder.symbol_block(block_number, repair_esis))
     return encoder.oti, symbols
 
 
-def decode_object(oti: ObjectTransmissionInfo, symbols: Iterable[EncodedSymbol]) -> bytes:
+def decode_object(oti: ObjectTransmissionInfo, symbols: Iterable[EncodedSymbol],
+                  context: Optional["CodecContext"] = None) -> bytes:
     """Decode an object from its OTI and any sufficient set of encoding symbols."""
-    decoder = ObjectDecoder(oti)
+    decoder = ObjectDecoder(oti, context=context)
     decoder.add_symbols(symbols)
     return decoder.decode()

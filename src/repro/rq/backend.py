@@ -1,0 +1,242 @@
+"""Pluggable codec backends and the shared :class:`CodecContext`.
+
+The encoder and decoder no longer run Gaussian elimination themselves; they
+delegate the two linear-algebra problems of the codec to a backend:
+
+* ``compute_intermediate`` -- encode side: solve ``A . C = [0; source]``
+  for the (L x symbol_size) intermediate-symbol plane of one block;
+* ``solve_received``       -- decode side: solve the stacked
+  LDPC/HDPC/LT-row system for the intermediate symbols given whatever
+  encoding symbols arrived.
+
+Two backends ship:
+
+* ``reference`` -- rebuilds the matrix and re-runs full elimination for
+  every block, byte-for-byte preserving the original behaviour (and cost);
+* ``planned``   -- the default: looks up an :class:`~repro.rq.plan.EliminationPlan`
+  in the context's shared plan cache (keyed by K' on the encode side, by
+  K' plus the received-ESI set on the decode side) and replays it over the
+  block's symbol plane as one batched GF(256) matrix product.
+
+A :class:`CodecContext` bundles one backend with one plan cache and its
+hit/miss counters.  All sessions of a simulation share a single context, so
+the first block of the first transfer pays for elimination and every later
+block with the same parameters rides the cache.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.rq.matrix import build_constraint_matrix
+from repro.rq.params import CodeParameters
+from repro.rq.plan import (
+    EliminationPlan,
+    PlanCache,
+    build_plan,
+    constraint_matrix,
+    received_matrix,
+)
+from repro.rq.solver import solve
+from repro.sim.stats import CacheStats
+
+#: Name of the backend used when none is configured explicitly.
+DEFAULT_BACKEND = "planned"
+
+_BACKENDS: dict[str, type["CodecBackend"]] = {}
+
+
+def register_backend(cls: type["CodecBackend"]) -> type["CodecBackend"]:
+    """Class decorator: add a backend to the registry under ``cls.name``."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"backend {cls!r} must define a non-empty name")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Names of every registered backend, sorted."""
+    return sorted(_BACKENDS)
+
+
+def create_backend(name: str) -> "CodecBackend":
+    """Instantiate a registered backend by name."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown codec backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+class CodecBackend(ABC):
+    """Strategy interface for the codec's two solve problems."""
+
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def compute_intermediate(
+        self, context: "CodecContext", params: CodeParameters, source: np.ndarray
+    ) -> np.ndarray:
+        """Return the (L x T) intermediate plane for a (K x T) source plane."""
+
+    @abstractmethod
+    def solve_received(
+        self,
+        context: "CodecContext",
+        params: CodeParameters,
+        esis: tuple[int, ...],
+        received: np.ndarray,
+    ) -> np.ndarray:
+        """Return the (L x T) intermediate plane from received symbol values.
+
+        ``esis`` are the received encoding-symbol ids in ascending order and
+        ``received`` the matching (len(esis) x T) symbol plane.
+        """
+
+
+@register_backend
+class ReferenceBackend(CodecBackend):
+    """The original per-block elimination path, kept as ground truth."""
+
+    name = "reference"
+
+    def compute_intermediate(
+        self, context: "CodecContext", params: CodeParameters, source: np.ndarray
+    ) -> np.ndarray:
+        matrix = build_constraint_matrix(params)
+        constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
+        rhs = np.zeros((params.num_intermediate_symbols, source.shape[1]), dtype=np.uint8)
+        rhs[constraints:] = source
+        return solve(matrix, rhs)
+
+    def solve_received(
+        self,
+        context: "CodecContext",
+        params: CodeParameters,
+        esis: tuple[int, ...],
+        received: np.ndarray,
+    ) -> np.ndarray:
+        matrix = received_matrix(params, esis)
+        constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
+        rhs = np.zeros((constraints + len(esis), received.shape[1]), dtype=np.uint8)
+        rhs[constraints:] = received
+        return solve(matrix, rhs, num_unknowns=params.num_intermediate_symbols)
+
+
+@register_backend
+class PlannedBackend(CodecBackend):
+    """Elimination-plan cache + batched replay (the default backend)."""
+
+    name = "planned"
+
+    def compute_intermediate(
+        self, context: "CodecContext", params: CodeParameters, source: np.ndarray
+    ) -> np.ndarray:
+        plan = context.plan_for(
+            ("encode", params),
+            lambda: build_plan(constraint_matrix(params), record_steps=False),
+        )
+        constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
+        return plan.apply_from_row(source, constraints)
+
+    def solve_received(
+        self,
+        context: "CodecContext",
+        params: CodeParameters,
+        esis: tuple[int, ...],
+        received: np.ndarray,
+    ) -> np.ndarray:
+        plan = context.plan_for(
+            ("decode", params, esis),
+            lambda: build_plan(
+                received_matrix(params, esis),
+                num_unknowns=params.num_intermediate_symbols,
+                record_steps=False,
+            ),
+        )
+        constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
+        return plan.apply_from_row(received, constraints)
+
+
+class CodecContext:
+    """One backend + one shared plan cache + its counters.
+
+    Create one per simulation (the experiment runner does) and hand it to
+    every agent so all sessions amortise plan construction; the module-level
+    :func:`default_context` serves library users who do not manage contexts.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, CodecBackend] = DEFAULT_BACKEND,
+        max_cached_plans: int = 256,
+    ) -> None:
+        self.backend = create_backend(backend) if isinstance(backend, str) else backend
+        self.stats = CacheStats(name="rq_plan_cache")
+        self._plans = PlanCache(max_entries=max_cached_plans)
+        self.blocks_encoded = 0
+        self.blocks_decoded = 0
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend."""
+        return self.backend.name
+
+    @property
+    def cached_plans(self) -> int:
+        """Number of plans currently held by the cache."""
+        return len(self._plans)
+
+    def plan_for(self, key, builder) -> EliminationPlan:
+        """Fetch a plan from the shared cache, counting hits and misses."""
+        plan, hit = self._plans.get_or_build(key, builder)
+        if hit:
+            self.stats.record_hit()
+        else:
+            self.stats.record_miss()
+        self.stats.evictions = self._plans.evictions
+        return plan
+
+    def encode_intermediate(self, params: CodeParameters, source: np.ndarray) -> np.ndarray:
+        """Encode-side solve for one block (see :class:`CodecBackend`)."""
+        self.blocks_encoded += 1
+        return self.backend.compute_intermediate(self, params, source)
+
+    def decode_intermediate(
+        self, params: CodeParameters, esis: Sequence[int], received: np.ndarray
+    ) -> np.ndarray:
+        """Decode-side solve for one block (see :class:`CodecBackend`)."""
+        self.blocks_decoded += 1
+        return self.backend.solve_received(self, params, tuple(esis), received)
+
+    def stats_dict(self) -> dict:
+        """A JSON-friendly snapshot for experiment reports."""
+        return {
+            "backend": self.backend_name,
+            "blocks_encoded": self.blocks_encoded,
+            "blocks_decoded": self.blocks_decoded,
+            "plan_cache": self.stats.as_dict(),
+            "cached_plans": self.cached_plans,
+        }
+
+
+_default_context: Optional[CodecContext] = None
+
+
+def default_context() -> CodecContext:
+    """The process-wide context used when callers do not supply one."""
+    global _default_context
+    if _default_context is None:
+        _default_context = CodecContext(DEFAULT_BACKEND)
+    return _default_context
+
+
+def set_default_backend(name: str) -> CodecContext:
+    """Replace the process-wide default context with one for ``name``."""
+    global _default_context
+    _default_context = CodecContext(name)
+    return _default_context

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from repro.rq.decoder import BlockDecoder, DecodeFailure
 from repro.rq.encoder import BlockEncoder
 from repro.rq.params import MAX_SOURCE_SYMBOLS, MIN_SOURCE_SYMBOLS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rq.backend import CodecContext
 
 #: Default symbol size: fits (with headers) in a 1500-byte data-centre MTU.
 DEFAULT_SYMBOL_SIZE = 1408
@@ -97,10 +100,12 @@ class ObjectEncoder:
         data: bytes,
         symbol_size: int = DEFAULT_SYMBOL_SIZE,
         max_symbols_per_block: int = DEFAULT_MAX_SYMBOLS_PER_BLOCK,
+        context: Optional["CodecContext"] = None,
     ) -> None:
         if not data:
             raise ValueError("cannot encode an empty object")
         self.data = bytes(data)
+        self.context = context
         self.oti = partition_object(len(data), symbol_size, max_symbols_per_block)
         self._encoders: dict[int, BlockEncoder] = {}
 
@@ -126,13 +131,23 @@ class ObjectEncoder:
         if not 0 <= block_number < self.num_blocks:
             raise IndexError(f"block {block_number} out of range")
         if block_number not in self._encoders:
-            self._encoders[block_number] = BlockEncoder(self._block_source_symbols(block_number))
+            self._encoders[block_number] = BlockEncoder(
+                self._block_source_symbols(block_number), context=self.context
+            )
         return self._encoders[block_number]
 
     def symbol(self, block_number: int, esi: int) -> EncodedSymbol:
         """Generate one encoding symbol for the given block."""
         data = self.block(block_number).symbol(esi)
         return EncodedSymbol(block_number=block_number, esi=esi, data=data)
+
+    def symbol_block(self, block_number: int, esis: Sequence[int]) -> list[EncodedSymbol]:
+        """Generate a batch of encoding symbols for one block in the symbol plane."""
+        plane = self.block(block_number).symbol_block(esis)
+        return [
+            EncodedSymbol(block_number=block_number, esi=esi, data=plane[row].tobytes())
+            for row, esi in enumerate(esis)
+        ]
 
     def source_symbols(self) -> Iterator[EncodedSymbol]:
         """Yield every source symbol of every block, in order."""
@@ -152,10 +167,13 @@ class ObjectEncoder:
 class ObjectDecoder:
     """Decode a whole object from encoding symbols of any of its blocks."""
 
-    def __init__(self, oti: ObjectTransmissionInfo) -> None:
+    def __init__(self, oti: ObjectTransmissionInfo,
+                 context: Optional["CodecContext"] = None) -> None:
         self.oti = oti
+        self.context = context
         self._decoders = {
-            block: BlockDecoder(oti.block_symbol_count(block), oti.symbol_size)
+            block: BlockDecoder(oti.block_symbol_count(block), oti.symbol_size,
+                                context=context)
             for block in range(oti.num_source_blocks)
         }
 

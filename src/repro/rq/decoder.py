@@ -17,14 +17,16 @@ property the paper highlights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.rq.matrix import hdpc_rows, ldpc_rows, lt_row
 from repro.rq.params import CodeParameters, for_k
-from repro.rq.solver import SingularMatrixError, solve
+from repro.rq.solver import SingularMatrixError
 from repro.rq.tuples import lt_neighbours
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rq.backend import CodecContext
 
 
 class DecodeFailure(RuntimeError):
@@ -54,7 +56,13 @@ class BlockDecoder:
     """Decoder for a single source block."""
 
     def __init__(self, num_source_symbols: int, symbol_size: int,
-                 params: CodeParameters | None = None) -> None:
+                 params: CodeParameters | None = None,
+                 context: Optional["CodecContext"] = None) -> None:
+        if context is None:
+            from repro.rq.backend import default_context
+
+            context = default_context()
+        self.context = context
         self.params = params if params is not None else for_k(num_source_symbols)
         if self.params.num_source_symbols != num_source_symbols:
             raise ValueError("params do not match num_source_symbols")
@@ -160,12 +168,14 @@ class BlockDecoder:
                 used_gaussian_elimination=True,
             )
 
-        source: list[bytes] = []
-        for esi in range(k):
-            if esi in self._received:
-                source.append(self._received[esi])
-            else:
-                source.append(self._lt_encode(intermediate, esi))
+        # Re-encode every missing source symbol in one batched pass over the
+        # intermediate plane; directly-received source symbols are reused.
+        missing = [esi for esi in range(k) if esi not in self._received]
+        recovered = dict(zip(missing, self._lt_encode_block(intermediate, missing)))
+        source = [
+            self._received[esi] if esi in self._received else recovered[esi]
+            for esi in range(k)
+        ]
         self._decoded = source
         return DecodeResult(
             success=True,
@@ -186,24 +196,15 @@ class BlockDecoder:
         return result.source_symbols
 
     def _solve_intermediate(self) -> np.ndarray:
-        params = self.params
-        l = params.num_intermediate_symbols
-        s = params.num_ldpc_symbols
-        h = params.num_hdpc_symbols
         esis = sorted(self._received)
-        num_rows = s + h + len(esis)
+        received = np.empty((len(esis), self.symbol_size), dtype=np.uint8)
+        for row, esi in enumerate(esis):
+            received[row] = np.frombuffer(self._received[esi], dtype=np.uint8)
+        return self.context.decode_intermediate(self.params, esis, received)
 
-        matrix = np.zeros((num_rows, l), dtype=np.uint8)
-        rhs = np.zeros((num_rows, self.symbol_size), dtype=np.uint8)
-        matrix[:s] = ldpc_rows(params)
-        matrix[s : s + h] = hdpc_rows(params)
-        for row_offset, esi in enumerate(esis):
-            matrix[s + h + row_offset] = lt_row(params, esi)
-            rhs[s + h + row_offset] = np.frombuffer(self._received[esi], dtype=np.uint8)
-        return solve(matrix, rhs)
-
-    def _lt_encode(self, intermediate: np.ndarray, internal_symbol_id: int) -> bytes:
-        accumulator = np.zeros(self.symbol_size, dtype=np.uint8)
-        for index in lt_neighbours(self.params, internal_symbol_id):
-            accumulator ^= intermediate[index]
-        return accumulator.tobytes()
+    def _lt_encode_block(self, intermediate: np.ndarray, esis: list[int]) -> list[bytes]:
+        symbols: list[bytes] = []
+        for esi in esis:
+            indices = list(lt_neighbours(self.params, esi))
+            symbols.append(np.bitwise_xor.reduce(intermediate[indices], axis=0).tobytes())
+        return symbols

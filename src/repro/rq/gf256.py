@@ -123,6 +123,50 @@ def gf_scale_rows(rows: np.ndarray, factors: np.ndarray) -> np.ndarray:
     return result
 
 
+def _build_mul_table() -> np.ndarray:
+    """Build the full 256 x 256 GF(256) multiplication table (64 KiB)."""
+    logs = OCT_LOG[np.arange(256)]
+    table = OCT_EXP[logs[:, None] + logs[None, :]].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table
+
+
+#: Full multiplication table: ``MUL_TABLE[a, b] == gf_mul(a, b)``.  One fancy
+#: index replaces the log/exp/zero-mask dance, which is what makes the batched
+#: matrix product below fast enough for whole-block symbol planes.
+MUL_TABLE = _build_mul_table()
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply two GF(256) matrices: ``(m, n) . (n, t) -> (m, t)`` (uint8).
+
+    Vectorised column-by-column: for each k the outer product of ``a[:, k]``
+    and ``b[k]`` is one table gather plus one XOR-accumulate, so the Python
+    loop is O(n) regardless of the symbol size t.  This is the workhorse of
+    elimination-plan replay, where ``a`` is a cached solution operator and
+    ``b`` is the (n x symbol_size) symbol plane of a block.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gf_matmul needs two 2-D arrays")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} . {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for k in range(a.shape[1]):
+        column = a[:, k]
+        if not column.any():
+            continue
+        value_row = b[k]
+        if not value_row.any():
+            continue
+        # Two-stage gather: expand the column against the full table first
+        # ((m, 256), cheap), then index by the value row.  Roughly 4x faster
+        # than one broadcast 2-D fancy index over the same data.
+        products = MUL_TABLE[column]
+        out ^= products[:, value_row]
+    return out
+
+
 def gf_matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     """Multiply a GF(256) matrix by a GF(256) column vector (both uint8)."""
     result = np.zeros(matrix.shape[0], dtype=np.uint8)

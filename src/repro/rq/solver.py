@@ -6,15 +6,33 @@ encoding symbols + static constraints -> intermediate symbols).  Row
 operations are vectorised with numpy so that the cost is dominated by
 ``O(L^2)`` row-XOR/scale operations rather than Python-level loops over
 matrix cells.
+
+:func:`solve` optionally reports every row operation it performs (swap,
+scale, fused multiply-XOR) to a recorder object.  :mod:`repro.rq.plan` uses
+this to capture the elimination of a fixed matrix once and replay it over
+the symbol plane of every later block with the same code parameters.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Protocol
 
 import numpy as np
 
 from repro.rq.gf256 import gf_inv, gf_scale_rows, gf_scale_vector
+
+
+class RowOpRecorder(Protocol):
+    """Receives the row operations :func:`solve` performs, in order."""
+
+    def swap(self, row_a: int, row_b: int) -> None:
+        """Rows ``row_a`` and ``row_b`` were exchanged."""
+
+    def scale(self, row: int, factor: int) -> None:
+        """Row ``row`` was multiplied by ``factor``."""
+
+    def eliminate(self, source_row: int, targets: np.ndarray, factors: np.ndarray) -> None:
+        """``rows[targets] ^= factors[:, None] * rows[source_row]`` was applied."""
 
 
 class SingularMatrixError(ValueError):
@@ -56,6 +74,7 @@ def solve(
     matrix: np.ndarray,
     values: np.ndarray,
     num_unknowns: Optional[int] = None,
+    recorder: Optional[RowOpRecorder] = None,
 ) -> np.ndarray:
     """Solve ``matrix . X = values`` for X over GF(256).
 
@@ -63,6 +82,9 @@ def solve(
         matrix: (n, L) uint8 coefficient matrix; ``n >= L`` is required.
         values: (n, T) uint8 right-hand sides (one row of T bytes per equation).
         num_unknowns: L; defaults to ``matrix.shape[1]``.
+        recorder: optional sink notified of every row operation performed;
+            the recorded sequence depends only on ``matrix``, never on
+            ``values``, so it can be replayed against other right-hand sides.
 
     Returns:
         (L, T) uint8 array of solved unknowns.
@@ -94,11 +116,15 @@ def solve(
         if pivot != rank:
             work[[rank, pivot]] = work[[pivot, rank]]
             rhs[[rank, pivot]] = rhs[[pivot, rank]]
+            if recorder is not None:
+                recorder.swap(rank, pivot)
         pivot_value = int(work[rank, col])
         if pivot_value != 1:
             inverse = gf_inv(pivot_value)
             work[rank] = gf_scale_vector(work[rank], inverse)
             rhs[rank] = gf_scale_vector(rhs[rank], inverse)
+            if recorder is not None:
+                recorder.scale(rank, inverse)
         # Eliminate the pivot column from every other row (Gauss-Jordan) so the
         # solution can be read off directly at the end.
         column = work[:, col].copy()
@@ -108,6 +134,8 @@ def solve(
             factors = column[targets]
             work[targets] ^= gf_scale_rows(np.tile(work[rank], (targets.size, 1)), factors)
             rhs[targets] ^= gf_scale_rows(np.tile(rhs[rank], (targets.size, 1)), factors)
+            if recorder is not None:
+                recorder.eliminate(rank, targets.copy(), factors.copy())
         pivot_column_of_row.append(col)
         rank += 1
 

@@ -16,6 +16,7 @@ replaced by the block's ``systematic_seed`` (see :mod:`repro.rq.params`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.rq.degree import DEGREE_RANDOM_RANGE, deg
 from repro.rq.params import CodeParameters
@@ -62,12 +63,15 @@ def make_tuple(params: CodeParameters, internal_symbol_id: int) -> EncodingTuple
     return EncodingTuple(d=d, a=a, b=b, d1=d1, a1=a1, b1=b1)
 
 
-def lt_neighbours(params: CodeParameters, internal_symbol_id: int) -> list[int]:
+@lru_cache(maxsize=1 << 16)
+def lt_neighbours(params: CodeParameters, internal_symbol_id: int) -> tuple[int, ...]:
     """Return the intermediate-symbol indices XORed to form encoding symbol X.
 
     Indices below ``W`` refer to LT intermediate symbols; indices in
-    ``[W, L)`` refer to PI symbols.  The list may contain each index at most
-    once (duplicates are impossible by construction of the strided walks).
+    ``[W, L)`` refer to PI symbols.  Each index appears at most once.  The
+    result is memoised (and therefore an immutable tuple): the same source
+    ESIs recur for every block of every transfer with the same parameters,
+    so the tuple derivation is paid once per (params, ESI) process-wide.
     """
     t = make_tuple(params, internal_symbol_id)
     w = params.num_lt_symbols
@@ -97,4 +101,4 @@ def lt_neighbours(params: CodeParameters, internal_symbol_id: int) -> list[int]:
     unique: dict[int, int] = {}
     for index in neighbours:
         unique[index] = unique.get(index, 0) + 1
-    return sorted(index for index, count in unique.items() if count % 2 == 1)
+    return tuple(sorted(index for index, count in unique.items() if count % 2 == 1))

@@ -9,6 +9,7 @@ from repro.core.config import PolyraptorConfig
 from repro.network.network import Network, NetworkConfig
 from repro.network.routing import RoutingMode
 from repro.network.topology import FatTreeTopology
+from repro.rq.backend import CodecContext
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.transport.base import TransferRegistry
@@ -31,8 +32,10 @@ class PolyraptorTestbed:
         )
         self.registry = TransferRegistry()
         self.config = config or PolyraptorConfig()
+        self.codec = CodecContext(self.config.codec_backend)
         self.agents = {
-            host.name: PolyraptorAgent(self.sim, host, self.config, self.registry)
+            host.name: PolyraptorAgent(self.sim, host, self.config, self.registry,
+                                       codec_context=self.codec)
             for host in self.network.hosts
         }
 
