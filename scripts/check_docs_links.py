@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in README/docs resolves.
+
+Scans ``README.md`` and everything under ``docs/`` for ``[text](target)``
+links with ``target``s of the form ``path`` or ``path#anchor``.  External
+links (http/https/mailto) are skipped; relative targets must exist on disk,
+and for in-repo markdown targets with an anchor the anchor must match a
+heading in the target file (GitHub slug rules, simplified).
+
+Exit status is non-zero when any link is broken, so CI can gate on it:
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, strip punctuation, dash per space."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(markdown_file: Path) -> set[str]:
+    return {_slugify(m.group(1)) for m in HEADING_RE.finditer(markdown_file.read_text(encoding="utf-8"))}
+
+
+def _markdown_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links() -> list[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems: list[str] = []
+    for source in _markdown_files():
+        text = source.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            rel = source.relative_to(REPO_ROOT)
+            if not path_part:  # pure in-page anchor
+                if anchor and _slugify(anchor) not in _anchors_of(source):
+                    problems.append(f"{rel}: broken in-page anchor #{anchor}")
+                continue
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if _slugify(anchor) not in _anchors_of(resolved):
+                    problems.append(f"{rel}: {path_part} exists but anchor #{anchor} not found")
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    checked = len(_markdown_files())
+    if problems:
+        for problem in problems:
+            print(f"BROKEN  {problem}")
+        print(f"\n{len(problems)} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"All relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

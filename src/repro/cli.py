@@ -3,12 +3,18 @@
 Usage (after installing the package)::
 
     python -m repro.cli figure1a
+    python -m repro.cli figure1a --seeds 5 --jobs 4     # sharded multi-seed sweep
     python -m repro.cli figure1c --senders 1 2 4 8 12 --seeds 3
     python -m repro.cli ablations
     python -m repro.cli hotspot
+    python -m repro.cli mix
     python -m repro.cli all --fattree-k 4 --sessions 24
 
-Each command prints the same text table the corresponding benchmark produces.
+Each command prints the same text table the corresponding benchmark produces,
+followed by the merged RQ plan-cache counters for the coded series.
+``--jobs N`` shards a sweep's independent runs over N worker processes
+(:mod:`repro.experiments.parallel`); the output is byte-identical to
+``--jobs 1``, only faster on multi-core machines.
 """
 
 from __future__ import annotations
@@ -30,10 +36,12 @@ from repro.experiments.figure1c import run_figure1c
 from repro.experiments.hotspot import format_hotspot, run_hotspot_experiment
 from repro.experiments.report import (
     format_ablation,
+    format_codec_stats,
     format_figure1c,
     format_overhead,
     format_rank_figure,
 )
+from repro.experiments.workload_mix import format_workload_mix, run_workload_mix
 from repro.utils.units import KILOBYTE
 
 
@@ -60,16 +68,25 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="base random seed")
     parser.add_argument("--max-sim-time", type=float, default=30.0,
                         help="simulation-time cap per run (seconds)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard independent runs across "
+                             "(results are identical for any value)")
+
+
+def _seeds(args: argparse.Namespace, default: int = 1) -> int:
+    return args.seeds if args.seeds is not None else default
 
 
 def _cmd_figure1a(args: argparse.Namespace) -> str:
-    result = run_figure1a(_build_config(args))
-    return format_rank_figure(result, "Figure 1a -- storage replication")
+    result = run_figure1a(_build_config(args), num_seeds=_seeds(args), jobs=args.jobs)
+    return (format_rank_figure(result, "Figure 1a -- storage replication")
+            + "\n\n" + format_codec_stats(result.codec_stats))
 
 
 def _cmd_figure1b(args: argparse.Namespace) -> str:
-    result = run_figure1b(_build_config(args))
-    return format_rank_figure(result, "Figure 1b -- multi-source fetch")
+    result = run_figure1b(_build_config(args), num_seeds=_seeds(args), jobs=args.jobs)
+    return (format_rank_figure(result, "Figure 1b -- multi-source fetch")
+            + "\n\n" + format_codec_stats(result.codec_stats))
 
 
 def _cmd_figure1c(args: argparse.Namespace) -> str:
@@ -77,24 +94,32 @@ def _cmd_figure1c(args: argparse.Namespace) -> str:
         _build_config(args),
         sender_counts=tuple(args.senders),
         response_sizes=tuple(size * KILOBYTE for size in args.response_kb),
-        num_seeds=args.seeds,
+        num_seeds=_seeds(args, default=3),
+        jobs=args.jobs,
     )
-    return format_figure1c(result)
+    return format_figure1c(result) + "\n\n" + format_codec_stats(result.codec_stats)
 
 
 def _cmd_ablations(args: argparse.Namespace) -> str:
     config = _build_config(args)
     sections = [
-        format_ablation(trimming_ablation(config), "A1 -- trimming vs drop-tail"),
-        format_ablation(spraying_ablation(config), "A2 -- spraying vs ECMP vs single path"),
+        format_ablation(trimming_ablation(config, jobs=args.jobs),
+                        "A1 -- trimming vs drop-tail"),
+        format_ablation(spraying_ablation(config, jobs=args.jobs),
+                        "A2 -- spraying vs ECMP vs single path"),
         format_overhead(rq_overhead_ablation(), "A3 -- RQ decode overhead"),
-        format_ablation(initial_window_ablation(config), "A4 -- initial window"),
+        format_ablation(initial_window_ablation(config, jobs=args.jobs),
+                        "A4 -- initial window"),
     ]
     return "\n\n".join(sections)
 
 
 def _cmd_hotspot(args: argparse.Namespace) -> str:
-    return format_hotspot(run_hotspot_experiment(_build_config(args)))
+    return format_hotspot(run_hotspot_experiment(_build_config(args), jobs=args.jobs))
+
+
+def _cmd_mix(args: argparse.Namespace) -> str:
+    return format_workload_mix(run_workload_mix(_build_config(args), jobs=args.jobs))
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
@@ -105,6 +130,7 @@ def _cmd_all(args: argparse.Namespace) -> str:
             _cmd_figure1c(args),
             _cmd_ablations(args),
             _cmd_hotspot(args),
+            _cmd_mix(args),
         ]
     )
 
@@ -122,18 +148,22 @@ def build_parser() -> argparse.ArgumentParser:
         ("figure1c", _cmd_figure1c, "Incast sweep"),
         ("ablations", _cmd_ablations, "design-choice ablations A1-A4"),
         ("hotspot", _cmd_hotspot, "network-hotspot extension experiment"),
+        ("mix", _cmd_mix, "heavy-tailed workload-mix extension experiment"),
         ("all", _cmd_all, "everything above in sequence"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_arguments(sub)
         sub.set_defaults(handler=handler)
+        # --seeds only applies to the figure sweeps; ablations/hotspot/mix
+        # are single-seed by design, so they simply don't accept the flag.
+        if name in ("figure1a", "figure1b", "figure1c", "all"):
+            sub.add_argument("--seeds", type=int, default=None,
+                             help="repetition seeds per series (default: 1; figure1c: 3)")
         if name in ("figure1c", "all"):
             sub.add_argument("--senders", type=int, nargs="+", default=[1, 2, 4, 8, 12],
                              help="sender counts to sweep")
             sub.add_argument("--response-kb", type=int, nargs="+", default=[256, 70],
                              help="response sizes in kilobytes")
-            sub.add_argument("--seeds", type=int, default=3,
-                             help="repetitions for the confidence intervals")
     return parser
 
 

@@ -121,13 +121,20 @@ class SenderSession:
         return self.multicast_group is not None
 
     def start(self) -> None:
-        """Push the initial window of symbols at line rate."""
+        """Push the initial window of symbols at line rate.
+
+        The window's (block, esi) sequence is chosen first, then payloads for
+        all of it are produced per block through
+        :meth:`~repro.rq.block.ObjectEncoder.symbol_block` -- one batched
+        symbol-plane pass per block instead of a per-symbol encode call --
+        and finally the packets are emitted in the original order.
+        """
         window = self.config.initial_window_symbols
         if self.num_senders > 1 and self.config.divide_initial_window_among_senders:
             window = max(1, math.ceil(window / self.num_senders))
-        for _ in range(window):
-            block, esi = self._next_symbol(None)
-            self._emit_symbol(block, esi)
+        picks = [self._next_symbol(None) for _ in range(window)]
+        for (block, esi), data in zip(picks, self._batch_payloads(picks)):
+            self._emit_symbol(block, esi, data=data)
 
     def on_pull(self, pull: PullPayload) -> None:
         """Handle a pull request from a receiver."""
@@ -190,9 +197,27 @@ class SenderSession:
             return self._default_hint
         return 0
 
-    def _emit_symbol(self, block: int, esi: int, unicast_to: Optional[int] = None) -> None:
-        data: Optional[bytes] = None
-        if self._encoder is not None:
+    def _batch_payloads(self, picks: list[tuple[int, int]]) -> list[Optional[bytes]]:
+        """Encode the payloads for a run of (block, esi) picks, batched per block.
+
+        Returns one entry per pick, in pick order (``None`` everywhere in
+        identity-tracking mode).  ``ObjectEncoder.symbol_block`` preserves the
+        ESI order it is given, so per-block queues map straight back.
+        """
+        if self._encoder is None:
+            return [None] * len(picks)
+        esis_by_block: dict[int, list[int]] = {}
+        for block, esi in picks:
+            esis_by_block.setdefault(block, []).append(esi)
+        encoded = {
+            block: deque(self._encoder.symbol_block(block, esis))
+            for block, esis in esis_by_block.items()
+        }
+        return [encoded[block].popleft().data for block, _ in picks]
+
+    def _emit_symbol(self, block: int, esi: int, unicast_to: Optional[int] = None,
+                     data: Optional[bytes] = None) -> None:
+        if data is None and self._encoder is not None:
             data = self._encoder.symbol(block, esi).data
         k = self.oti.block_symbol_count(block)
         payload = SymbolPayload(

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 from repro.core.config import PolyraptorConfig
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.metrics import aggregate_goodput_gbps
-from repro.experiments.runner import run_transfers
+from repro.experiments.parallel import RunJob, execute_jobs
 from repro.network.network import NetworkConfig
 from repro.network.routing import RoutingMode
 from repro.network.topology import FatTreeTopology
@@ -52,6 +52,7 @@ def trimming_ablation(
     config: ExperimentConfig | None = None,
     num_senders: int = 12,
     response_bytes: int = 256 * KILOBYTE,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """A1: Polyraptor Incast goodput with trimming switches vs drop-tail switches."""
     cfg = config or ExperimentConfig.scaled_default()
@@ -60,59 +61,38 @@ def trimming_ablation(
     _, transfers = incast_transfers(
         topology, num_senders, response_bytes, streams.stream("incast"), label="incast"
     )
-    points = []
-    for label, queue in (("trimming", "trimming"), ("droptail", "droptail")):
-        network_config = NetworkConfig(
-            link_rate_bps=cfg.link_rate_bps,
-            link_delay_s=cfg.link_delay_s,
-            switch_queue=queue,
-            data_queue_capacity_packets=cfg.data_queue_capacity_packets,
-            droptail_capacity_packets=cfg.data_queue_capacity_packets,
-            routing_mode=RoutingMode.PACKET_SPRAY,
+    sweep = [
+        RunJob(
+            key=label,
+            protocol=Protocol.POLYRAPTOR,
+            config=cfg,
+            transfers=tuple(transfers),
+            network_config=NetworkConfig(
+                link_rate_bps=cfg.link_rate_bps,
+                link_delay_s=cfg.link_delay_s,
+                switch_queue=queue,
+                data_queue_capacity_packets=cfg.data_queue_capacity_packets,
+                droptail_capacity_packets=cfg.data_queue_capacity_packets,
+                routing_mode=RoutingMode.PACKET_SPRAY,
+            ),
         )
-        from repro.experiments.runner import offer_transfers
-
-        env = _rebuild_with_network_config(cfg, topology, network_config)
-        offer_transfers(env, Protocol.POLYRAPTOR, transfers)
-        env.sim.run(until=cfg.max_sim_time_s)
-        points.append(
-            AblationPoint(
-                label=label,
-                goodput_gbps=aggregate_goodput_gbps(env.registry, "incast"),
-                trimmed_packets=env.network.total_trimmed_packets,
-                dropped_packets=env.network.total_dropped_packets,
-            )
+        for label, queue in (("trimming", "trimming"), ("droptail", "droptail"))
+    ]
+    return [
+        AblationPoint(
+            label=job.key,
+            goodput_gbps=aggregate_goodput_gbps(run.registry, "incast"),
+            trimmed_packets=run.trimmed_packets,
+            dropped_packets=run.dropped_packets,
         )
-    return points
-
-
-def _rebuild_with_network_config(cfg: ExperimentConfig, topology, network_config: NetworkConfig):
-    """Build a Polyraptor environment over an explicitly given network config."""
-    from repro.core.agent import PolyraptorAgent
-    from repro.experiments.runner import _Environment
-    from repro.network.network import Network
-    from repro.sim.engine import Simulator
-    from repro.transport.base import TransferRegistry
-
-    sim = Simulator()
-    network = Network(sim, topology, network_config, RandomStreams(cfg.seed))
-    registry = TransferRegistry()
-    agents = {
-        host.name: PolyraptorAgent(sim, host, cfg.polyraptor, registry)
-        for host in network.hosts
-    }
-    return _Environment(
-        sim=sim,
-        network=network,
-        registry=registry,
-        polyraptor_agents=agents,
-        tcp_agents={},
-    )
+        for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs))
+    ]
 
 
 def spraying_ablation(
     config: ExperimentConfig | None = None,
     num_transfers: int | None = None,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """A2: permutation traffic under spraying vs per-flow ECMP vs a single path."""
     cfg = config or ExperimentConfig.scaled_default()
@@ -122,7 +102,7 @@ def spraying_ablation(
     pairs = permutation_pairs(topology.hosts, rng)
     if num_transfers is not None:
         pairs = pairs[:num_transfers]
-    transfers = [
+    transfers = tuple(
         TransferSpec(
             transfer_id=index,
             kind=TransferKind.UNICAST,
@@ -133,29 +113,33 @@ def spraying_ablation(
             label="foreground",
         )
         for index, (src, dst) in enumerate(pairs)
+    )
+    sweep = [
+        RunJob(
+            key=mode.value,
+            protocol=Protocol.POLYRAPTOR,
+            config=cfg,
+            transfers=transfers,
+            network_config=NetworkConfig(
+                link_rate_bps=cfg.link_rate_bps,
+                link_delay_s=cfg.link_delay_s,
+                switch_queue="trimming",
+                data_queue_capacity_packets=cfg.data_queue_capacity_packets,
+                routing_mode=mode,
+            ),
+        )
+        for mode in (RoutingMode.PACKET_SPRAY, RoutingMode.ECMP_FLOW, RoutingMode.SINGLE_PATH)
     ]
     points = []
-    for mode in (RoutingMode.PACKET_SPRAY, RoutingMode.ECMP_FLOW, RoutingMode.SINGLE_PATH):
-        network_config = NetworkConfig(
-            link_rate_bps=cfg.link_rate_bps,
-            link_delay_s=cfg.link_delay_s,
-            switch_queue="trimming",
-            data_queue_capacity_packets=cfg.data_queue_capacity_packets,
-            routing_mode=mode,
-        )
-        env = _rebuild_with_network_config(cfg, topology, network_config)
-        from repro.experiments.runner import offer_transfers
-
-        offer_transfers(env, Protocol.POLYRAPTOR, transfers)
-        env.sim.run(until=cfg.max_sim_time_s)
-        goodputs = env.registry.goodputs_gbps("foreground")
+    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs)):
+        goodputs = run.goodputs_gbps("foreground")
         mean = sum(goodputs) / len(goodputs) if goodputs else 0.0
         points.append(
             AblationPoint(
-                label=mode.value,
+                label=job.key,
                 goodput_gbps=mean,
-                trimmed_packets=env.network.total_trimmed_packets,
-                dropped_packets=env.network.total_dropped_packets,
+                trimmed_packets=run.trimmed_packets,
+                dropped_packets=run.dropped_packets,
             )
         )
     return points
@@ -217,6 +201,7 @@ def initial_window_ablation(
     config: ExperimentConfig | None = None,
     window_sizes: tuple[int, ...] = (2, 6, 12, 18, 24),
     object_bytes: int = 1_000_000,
+    jobs: int = 1,
 ) -> list[AblationPoint]:
     """A4: single-session goodput as a function of the initial window size."""
     cfg = config or ExperimentConfig.scaled_default()
@@ -231,17 +216,22 @@ def initial_window_ablation(
         start_time=0.0,
         label="foreground",
     )
-    points = []
-    for window in window_sizes:
-        protocol_config = replace(cfg.polyraptor, initial_window_symbols=window)
-        run = run_transfers(
-            Protocol.POLYRAPTOR, cfg, [spec], topology=topology,
-            polyraptor_config=protocol_config,
+    sweep = [
+        RunJob(
+            key=f"window={window}",
+            protocol=Protocol.POLYRAPTOR,
+            config=cfg,
+            transfers=(spec,),
+            polyraptor_config=replace(cfg.polyraptor, initial_window_symbols=window),
         )
+        for window in window_sizes
+    ]
+    points = []
+    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs)):
         goodputs = run.goodputs_gbps("foreground")
         points.append(
             AblationPoint(
-                label=f"window={window}",
+                label=job.key,
                 goodput_gbps=goodputs[0] if goodputs else 0.0,
                 trimmed_packets=run.trimmed_packets,
                 dropped_packets=run.dropped_packets,

@@ -12,12 +12,16 @@ rank (slowest first) for the four series:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.metrics import SeriesSummary, goodput_rank_series
-from repro.experiments.runner import RunResult, run_transfers
+from repro.experiments.metrics import SeriesSummary
+from repro.experiments.parallel import RunJob, execute_jobs
+from repro.experiments.report import merge_codec_stats
+from repro.experiments.runner import RunResult
 from repro.network.topology import FatTreeTopology
 from repro.sim.randomness import RandomStreams
+from repro.utils.cdf import rank_curve
 from repro.workloads.background import background_transfers
 from repro.workloads.spec import TransferKind
 from repro.workloads.storage import StorageWorkload
@@ -32,12 +36,20 @@ def series_label(protocol: Protocol, num_replicas: int) -> str:
 
 @dataclass
 class Figure1aResult:
-    """All four series of Figure 1a plus per-series summaries and run stats."""
+    """All four series of Figure 1a plus per-series summaries and run stats.
+
+    ``runs`` holds the base seed's run per series (back-compat with single
+    -seed callers); ``seed_runs`` holds every repetition in seed order, and
+    ``codec_stats`` the per-series codec counters merged across seeds with
+    :func:`~repro.experiments.report.merge_codec_stats`.
+    """
 
     config: ExperimentConfig
     series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
     summaries: dict[str, SeriesSummary] = field(default_factory=dict)
     runs: dict[str, RunResult] = field(default_factory=dict)
+    seed_runs: dict[str, list[RunResult]] = field(default_factory=dict)
+    codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
 
     def summary(self, protocol: Protocol, num_replicas: int) -> SeriesSummary:
         """Summary of one series."""
@@ -81,22 +93,86 @@ def generate_workload(
     return topology, foreground + background
 
 
+def expand_sweep(
+    config: ExperimentConfig,
+    replica_counts: tuple[int, ...],
+    protocols: tuple[Protocol, ...],
+    num_seeds: int,
+    kind: TransferKind = TransferKind.REPLICATE,
+    label_of=None,
+) -> list[RunJob]:
+    """Expand the figure's seeds x replica-counts x protocols sweep into jobs.
+
+    Workloads are generated in the parent (once per seed and replica count,
+    shared by both protocols) so every job is fully described by value and
+    can be executed in any process.  ``label_of(protocol, count)`` names the
+    series; Figure 1b reuses this with its own labels and the FETCH kind.
+    """
+    label_of = label_of or series_label
+    jobs: list[RunJob] = []
+    for seed in range(config.seed, config.seed + num_seeds):
+        seed_config = config.with_seed(seed)
+        for num_replicas in replica_counts:
+            _, transfers = generate_workload(seed_config, num_replicas, kind)
+            for protocol in protocols:
+                jobs.append(
+                    RunJob(
+                        key=(seed, label_of(protocol, num_replicas)),
+                        protocol=protocol,
+                        config=seed_config,
+                        transfers=tuple(transfers),
+                    )
+                )
+    return jobs
+
+
+def collect_sweep(
+    result,
+    jobs: list[RunJob],
+    runs: list[RunResult],
+) -> None:
+    """Merge per-job runs into a rank-figure result (shared by Figures 1a/1b).
+
+    Goodputs are pooled across seeds per series (the paper's rank curves plot
+    per-session goodput, so repetitions simply contribute more sessions);
+    codec counters are merged with
+    :func:`~repro.experiments.report.merge_codec_stats`.
+    """
+    for job, run in zip(jobs, runs):
+        _, label = job.key
+        result.seed_runs.setdefault(label, []).append(run)
+        result.runs.setdefault(label, run)
+    for label, label_runs in result.seed_runs.items():
+        goodputs = [g for run in label_runs for g in run.goodputs_gbps("foreground")]
+        result.series[label] = rank_curve(goodputs)
+        if goodputs:
+            result.summaries[label] = SeriesSummary.from_goodputs(label, goodputs)
+        result.codec_stats[label] = merge_codec_stats(
+            [run.codec_stats for run in label_runs]
+        )
+
+
 def run_figure1a(
     config: ExperimentConfig | None = None,
     replica_counts: tuple[int, ...] = (1, 3),
     protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+    num_seeds: int = 1,
+    jobs: int = 1,
 ) -> Figure1aResult:
-    """Run every series of Figure 1a and return the rank curves."""
+    """Run every series of Figure 1a and return the rank curves.
+
+    Args:
+        config: base configuration (its ``seed`` is the first repetition).
+        replica_counts: replica counts to sweep (the paper uses 1 and 3).
+        protocols: transports to compare.
+        num_seeds: repetitions; goodputs are pooled across seeds per series.
+        jobs: worker processes to shard the sweep across (1 = in-process);
+            results are identical for every value, see
+            :mod:`repro.experiments.parallel`.
+    """
     cfg = config or ExperimentConfig.scaled_default()
     result = Figure1aResult(config=cfg)
-    for num_replicas in replica_counts:
-        topology, transfers = generate_workload(cfg, num_replicas, TransferKind.REPLICATE)
-        for protocol in protocols:
-            label = series_label(protocol, num_replicas)
-            run = run_transfers(protocol, cfg, transfers, topology=topology)
-            result.runs[label] = run
-            result.series[label] = goodput_rank_series(run.registry, "foreground")
-            goodputs = run.goodputs_gbps("foreground")
-            if goodputs:
-                result.summaries[label] = SeriesSummary.from_goodputs(label, goodputs)
+    sweep = expand_sweep(cfg, replica_counts, protocols, num_seeds)
+    runs = execute_jobs(sweep, num_workers=jobs)
+    collect_sweep(result, sweep, runs)
     return result

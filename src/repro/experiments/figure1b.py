@@ -11,11 +11,13 @@ an uncoordinated 1/N share of the object.  Series:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.figure1a import generate_workload
-from repro.experiments.metrics import SeriesSummary, goodput_rank_series
-from repro.experiments.runner import RunResult, run_transfers
+from repro.experiments.figure1a import collect_sweep, expand_sweep
+from repro.experiments.metrics import SeriesSummary
+from repro.experiments.parallel import execute_jobs
+from repro.experiments.runner import RunResult
 from repro.workloads.spec import TransferKind
 
 
@@ -27,12 +29,19 @@ def series_label(protocol: Protocol, num_senders: int) -> str:
 
 @dataclass
 class Figure1bResult:
-    """All four series of Figure 1b plus per-series summaries and run stats."""
+    """All four series of Figure 1b plus per-series summaries and run stats.
+
+    Mirrors :class:`~repro.experiments.figure1a.Figure1aResult`: ``runs``
+    holds the base seed's run per series, ``seed_runs`` every repetition and
+    ``codec_stats`` the merged per-series codec counters.
+    """
 
     config: ExperimentConfig
     series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
     summaries: dict[str, SeriesSummary] = field(default_factory=dict)
     runs: dict[str, RunResult] = field(default_factory=dict)
+    seed_runs: dict[str, list[RunResult]] = field(default_factory=dict)
+    codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
 
     def summary(self, protocol: Protocol, num_senders: int) -> SeriesSummary:
         """Summary of one series."""
@@ -43,18 +52,18 @@ def run_figure1b(
     config: ExperimentConfig | None = None,
     sender_counts: tuple[int, ...] = (1, 3),
     protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+    num_seeds: int = 1,
+    jobs: int = 1,
 ) -> Figure1bResult:
-    """Run every series of Figure 1b and return the rank curves."""
+    """Run every series of Figure 1b and return the rank curves.
+
+    Accepts the same ``num_seeds`` / ``jobs`` sweep controls as
+    :func:`~repro.experiments.figure1a.run_figure1a`.
+    """
     cfg = config or ExperimentConfig.scaled_default()
     result = Figure1bResult(config=cfg)
-    for num_senders in sender_counts:
-        topology, transfers = generate_workload(cfg, num_senders, TransferKind.FETCH)
-        for protocol in protocols:
-            label = series_label(protocol, num_senders)
-            run = run_transfers(protocol, cfg, transfers, topology=topology)
-            result.runs[label] = run
-            result.series[label] = goodput_rank_series(run.registry, "foreground")
-            goodputs = run.goodputs_gbps("foreground")
-            if goodputs:
-                result.summaries[label] = SeriesSummary.from_goodputs(label, goodputs)
+    sweep = expand_sweep(cfg, sender_counts, protocols, num_seeds,
+                         kind=TransferKind.FETCH, label_of=series_label)
+    runs = execute_jobs(sweep, num_workers=jobs)
+    collect_sweep(result, sweep, runs)
     return result

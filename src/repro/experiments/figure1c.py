@@ -13,10 +13,12 @@ pacing keep goodput near line rate regardless of the sender count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.metrics import aggregate_goodput_gbps, mean_with_confidence
-from repro.experiments.runner import run_transfers
+from repro.experiments.parallel import RunJob, execute_jobs, run_job
+from repro.experiments.report import merge_codec_stats
 from repro.network.topology import FatTreeTopology
 from repro.sim.randomness import RandomStreams
 from repro.utils.units import KILOBYTE
@@ -41,24 +43,25 @@ class IncastPoint:
 
 @dataclass
 class Figure1cResult:
-    """Every series of Figure 1c."""
+    """Every series of Figure 1c, plus per-series merged codec counters."""
 
     config: ExperimentConfig
     series: dict[str, list[IncastPoint]] = field(default_factory=dict)
+    codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
 
     def points(self, protocol: Protocol, response_bytes: int) -> list[IncastPoint]:
         """The points of one series."""
         return self.series[series_label(protocol, response_bytes)]
 
 
-def run_incast_point(
+def incast_job(
     protocol: Protocol,
     config: ExperimentConfig,
     num_senders: int,
     response_bytes: int,
     seed: int,
-) -> float:
-    """Run one Incast episode and return the aggregate goodput at the receiver."""
+) -> RunJob:
+    """Describe one Incast episode as an executable job."""
     cfg = config.with_seed(seed)
     topology = FatTreeTopology(cfg.fattree_k)
     streams = RandomStreams(seed)
@@ -70,7 +73,27 @@ def run_incast_point(
         start_time=0.0,
         label="incast",
     )
-    run = run_transfers(protocol, cfg, transfers, topology=topology)
+    return RunJob(
+        key=(seed, series_label(protocol, response_bytes), num_senders),
+        protocol=protocol,
+        config=cfg,
+        transfers=tuple(transfers),
+    )
+
+
+def run_incast_point(
+    protocol: Protocol,
+    config: ExperimentConfig,
+    num_senders: int,
+    response_bytes: int,
+    seed: int,
+) -> float:
+    """Run one Incast episode and return the aggregate goodput at the receiver.
+
+    Convenience wrapper (used by the examples) over the same job-execution
+    path the sharded sweep uses.
+    """
+    run = run_job(incast_job(protocol, config, num_senders, response_bytes, seed))
     return aggregate_goodput_gbps(run.registry, "incast")
 
 
@@ -80,6 +103,7 @@ def run_figure1c(
     response_sizes: tuple[int, ...] = (256 * KILOBYTE, 70 * KILOBYTE),
     protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
     num_seeds: int = 3,
+    jobs: int = 1,
 ) -> Figure1cResult:
     """Run the Incast sweep.
 
@@ -87,10 +111,34 @@ def run_figure1c(
     defaults here are scaled to the 16-host test fabric (sender counts capped
     by the host count) and 3 seeds, which already exhibit the collapse-vs-flat
     contrast.  Pass larger values to approach the paper's exact sweep.
+
+    This is the widest sweep of the suite (protocols x sizes x sender counts
+    x seeds independent episodes), so it parallelises best: pass ``jobs=N``
+    to shard the episodes over N worker processes with identical results.
     """
     cfg = config or ExperimentConfig.scaled_default()
     max_senders = cfg.num_hosts - 1
     result = Figure1cResult(config=cfg)
+
+    sweep: list[RunJob] = []
+    for protocol in protocols:
+        for response_bytes in response_sizes:
+            for num_senders in sender_counts:
+                if num_senders > max_senders:
+                    continue
+                for seed in range(cfg.seed, cfg.seed + num_seeds):
+                    sweep.append(incast_job(protocol, cfg, num_senders,
+                                            response_bytes, seed))
+    runs = execute_jobs(sweep, num_workers=jobs)
+
+    goodput_of = {
+        job.key: aggregate_goodput_gbps(run.registry, "incast")
+        for job, run in zip(sweep, runs)
+    }
+    stats_by_label: dict[str, list[Optional[dict]]] = {}
+    for job, run in zip(sweep, runs):
+        stats_by_label.setdefault(job.key[1], []).append(run.codec_stats)
+
     for protocol in protocols:
         for response_bytes in response_sizes:
             label = series_label(protocol, response_bytes)
@@ -99,7 +147,7 @@ def run_figure1c(
                 if num_senders > max_senders:
                     continue
                 samples = [
-                    run_incast_point(protocol, cfg, num_senders, response_bytes, seed)
+                    goodput_of[(seed, label, num_senders)]
                     for seed in range(cfg.seed, cfg.seed + num_seeds)
                 ]
                 mean, ci = mean_with_confidence(samples)
@@ -112,4 +160,5 @@ def run_figure1c(
                     )
                 )
             result.series[label] = points
+            result.codec_stats[label] = merge_codec_stats(stats_by_label.get(label, []))
     return result

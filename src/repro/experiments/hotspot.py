@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.runner import run_transfers
+from repro.experiments.parallel import RunJob, execute_jobs
 from repro.network.topology import FatTreeTopology
 from repro.sim.randomness import RandomStreams
 from repro.workloads.spec import TransferKind, TransferSpec
@@ -93,18 +93,19 @@ def run_hotspot_experiment(
     num_aggressors: int = 6,
     aggressor_bytes: int = 2_000_000,
     protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+    jobs: int = 1,
 ) -> dict[Protocol, HotspotResult]:
     """Run the hotspot scenario under each protocol and summarise the measured flows."""
     cfg = config or ExperimentConfig.scaled_default()
+    _, transfers = _hotspot_workload(cfg, num_measured, num_aggressors, aggressor_bytes)
+    sweep = [
+        RunJob(key=protocol, protocol=protocol, config=cfg, transfers=tuple(transfers))
+        for protocol in protocols
+    ]
     results: dict[Protocol, HotspotResult] = {}
-    for protocol in protocols:
-        topology, transfers = _hotspot_workload(
-            cfg, num_measured, num_aggressors, aggressor_bytes
-        )
-        run = run_transfers(protocol, cfg, transfers, topology=topology)
+    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs)):
         goodputs = sorted(run.goodputs_gbps("measured"))
         mean = sum(goodputs) / len(goodputs) if goodputs else 0.0
-        p10 = goodputs[max(0, len(goodputs) // 10 - 1)] if goodputs else 0.0
         measured_records = [r for r in run.registry.records if r.label == "measured"]
         completed = sum(1 for r in measured_records if r.completed)
         results[protocol] = HotspotResult(

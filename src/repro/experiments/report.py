@@ -7,12 +7,13 @@ rows/series the paper's figures report.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
-from repro.experiments.ablations import AblationPoint, OverheadPoint
-from repro.experiments.figure1a import Figure1aResult
-from repro.experiments.figure1b import Figure1bResult
-from repro.experiments.figure1c import Figure1cResult
+if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids circular imports
+    from repro.experiments.ablations import AblationPoint, OverheadPoint
+    from repro.experiments.figure1a import Figure1aResult
+    from repro.experiments.figure1b import Figure1bResult
+    from repro.experiments.figure1c import Figure1cResult
 
 
 def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -74,6 +75,42 @@ def format_ablation(points: Sequence[AblationPoint], title: str) -> str:
     ]
     table = _format_table(["configuration", "goodput Gbps", "trimmed", "dropped"], rows)
     return f"{title}\n{table}"
+
+
+def merge_codec_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
+    """Aggregate per-run codec statistics across the shards of a sweep.
+
+    Block and plan-cache counters are summed and the hit rate recomputed
+    from the totals, so a merged dict has the same shape as a single run's
+    ``RunResult.codec_stats``; a ``shards`` field records how many runs
+    contributed.  ``cached_plans`` is the *maximum* across shards (each
+    shard holds its own cache, typically seeded with the same pre-warmed
+    plans, so summing would double-count).  Runs without codec work
+    (``None``, e.g. TCP baselines) are skipped; returns ``None`` when no
+    run carried stats.
+    """
+    present = [stats for stats in stats_list if stats]
+    if not present:
+        return None
+    caches = [stats.get("plan_cache", {}) for stats in present]
+    hits = sum(cache.get("hits", 0) for cache in caches)
+    misses = sum(cache.get("misses", 0) for cache in caches)
+    lookups = hits + misses
+    backends = sorted({str(stats.get("backend", "?")) for stats in present})
+    return {
+        "backend": "+".join(backends),
+        "blocks_encoded": sum(stats.get("blocks_encoded", 0) for stats in present),
+        "blocks_decoded": sum(stats.get("blocks_decoded", 0) for stats in present),
+        "plan_cache": {
+            "name": "rq_plan_cache",
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(cache.get("evictions", 0) for cache in caches),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "cached_plans": max(stats.get("cached_plans", 0) for stats in present),
+        "shards": len(present),
+    }
 
 
 def format_codec_stats(

@@ -7,6 +7,12 @@ or with TCP flows over a drop-tail/ECMP fabric.  Because the workload is
 generated before the protocol is chosen, both protocols see byte-identical
 offered traffic -- the paper's methodological requirement for a fair
 comparison.
+
+One call to :func:`run_transfers` is one *run*: a fresh simulator, network
+and agent set, driven to completion, summarised as a :class:`RunResult`.
+Runs are pure functions of their inputs (config, transfer list, optional
+overrides), which is what lets :mod:`repro.experiments.parallel` execute
+many of them in worker processes and merge the results deterministically.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import numpy as np
 from repro.core.agent import PolyraptorAgent
 from repro.core.config import PolyraptorConfig
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.network.network import Network
+from repro.network.network import Network, NetworkConfig
 from repro.network.topology import FatTreeTopology, Topology
 from repro.rq.backend import CodecContext
 from repro.sim.engine import Simulator
@@ -79,28 +85,47 @@ def build_environment(
     topology: Optional[Topology] = None,
     trace: Optional[TraceLog] = None,
     polyraptor_config: Optional[PolyraptorConfig] = None,
+    network_config: Optional[NetworkConfig] = None,
+    codec_context: Optional[CodecContext] = None,
 ) -> _Environment:
-    """Build the simulator, network and per-host agents for one protocol."""
+    """Build the simulator, network and per-host agents for one protocol.
+
+    Args:
+        protocol: which transport the agents speak.
+        config: the experiment configuration (seed, fabric size, workload).
+        topology: a prebuilt topology; defaults to ``FatTreeTopology(k)``.
+        trace: optional event trace collector (disabled when ``None``).
+        polyraptor_config: protocol-parameter override for Polyraptor runs.
+        network_config: fabric override; defaults to the protocol's standard
+            fabric (trimming + spraying for Polyraptor, drop-tail + ECMP for
+            TCP).  Ablations use this to run Polyraptor on non-standard
+            fabrics.
+        codec_context: a pre-built codec context (e.g. one preloaded from a
+            :class:`~repro.rq.plan.PlanStore` by the parallel executor); a
+            fresh one is created when ``None``.
+    """
     sim = Simulator()
     topo = topology or FatTreeTopology(config.fattree_k)
     streams = RandomStreams(config.seed)
-    network = Network(sim, topo, config.network_config(protocol), streams, trace=trace)
+    fabric = network_config or config.network_config(protocol)
+    network = Network(sim, topo, fabric, streams, trace=trace)
     registry = TransferRegistry()
     polyraptor_agents: dict[str, PolyraptorAgent] = {}
     tcp_agents: dict[str, TcpAgent] = {}
-    codec_context: Optional[CodecContext] = None
     pcfg: Optional[PolyraptorConfig] = None
     if protocol is Protocol.POLYRAPTOR:
         pcfg = polyraptor_config or config.polyraptor
         # One shared codec context per simulation: every session of every
         # agent draws elimination plans from the same cache, so the cost of
         # factorising a K' is paid once per run rather than once per block.
-        codec_context = CodecContext(pcfg.codec_backend)
+        if codec_context is None:
+            codec_context = CodecContext(pcfg.codec_backend)
         for host in network.hosts:
             polyraptor_agents[host.name] = PolyraptorAgent(
                 sim, host, pcfg, registry, trace, codec_context=codec_context
             )
     else:
+        codec_context = None  # TCP does no coding; never report codec stats.
         for host in network.hosts:
             tcp_agents[host.name] = TcpAgent(sim, host, config.tcp, registry)
     return _Environment(
@@ -215,10 +240,20 @@ def run_transfers(
     topology: Optional[Topology] = None,
     trace: Optional[TraceLog] = None,
     polyraptor_config: Optional[PolyraptorConfig] = None,
+    network_config: Optional[NetworkConfig] = None,
+    codec_context: Optional[CodecContext] = None,
 ) -> RunResult:
-    """Run one workload under one protocol and return the collected results."""
+    """Run one workload under one protocol and return the collected results.
+
+    This is the single entry point every experiment goes through -- directly
+    when sequential, or inside a worker process when sharded through
+    :func:`repro.experiments.parallel.execute_jobs`.  See
+    :func:`build_environment` for the meaning of the optional overrides.
+    """
     env = build_environment(protocol, config, topology=topology, trace=trace,
-                            polyraptor_config=polyraptor_config)
+                            polyraptor_config=polyraptor_config,
+                            network_config=network_config,
+                            codec_context=codec_context)
     offer_transfers(env, protocol, transfers)
     wall_start = time.perf_counter()
     env.sim.run(until=config.max_sim_time_s)

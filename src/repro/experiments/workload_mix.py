@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.runner import run_transfers
+from repro.experiments.parallel import RunJob, execute_jobs
 from repro.network.topology import FatTreeTopology
 from repro.sim.randomness import RandomStreams
 from repro.utils.cdf import Cdf
@@ -77,15 +77,19 @@ def run_workload_mix(
     shape: float = 1.2,
     short_threshold_bytes: int = 100_000,
     protocols: tuple[Protocol, ...] = (Protocol.POLYRAPTOR, Protocol.TCP),
+    jobs: int = 1,
 ) -> dict[Protocol, WorkloadMixResult]:
     """Run the heavy-tailed permutation workload under each protocol."""
     cfg = config or ExperimentConfig.scaled_default()
+    _, transfers = _heavy_tailed_transfers(
+        cfg, num_transfers, min_bytes, max_bytes, shape, short_threshold_bytes
+    )
+    sweep = [
+        RunJob(key=protocol, protocol=protocol, config=cfg, transfers=tuple(transfers))
+        for protocol in protocols
+    ]
     results: dict[Protocol, WorkloadMixResult] = {}
-    for protocol in protocols:
-        topology, transfers = _heavy_tailed_transfers(
-            cfg, num_transfers, min_bytes, max_bytes, shape, short_threshold_bytes
-        )
-        run = run_transfers(protocol, cfg, transfers, topology=topology)
+    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs)):
         short_fcts = [
             record.flow_completion_time * 1e3
             for record in run.registry.completed_records

@@ -42,6 +42,8 @@ from repro.rq.backend import (
     available_backends,
     create_backend,
     default_context,
+    prewarm_decode_plans,
+    prewarm_encode_plans,
     register_backend,
     set_default_backend,
 )
@@ -49,7 +51,7 @@ from repro.rq.block import EncodedSymbol, ObjectDecoder, ObjectEncoder, ObjectTr
 from repro.rq.decoder import BlockDecoder, DecodeFailure, DecodeResult
 from repro.rq.encoder import BlockEncoder
 from repro.rq.params import CodeParameters
-from repro.rq.plan import EliminationPlan, PlanCache, build_plan
+from repro.rq.plan import EliminationPlan, PlanCache, PlanStore, build_plan
 
 __all__ = [
     "CodeParameters",
@@ -73,5 +75,8 @@ __all__ = [
     "set_default_backend",
     "EliminationPlan",
     "PlanCache",
+    "PlanStore",
     "build_plan",
+    "prewarm_encode_plans",
+    "prewarm_decode_plans",
 ]

@@ -22,20 +22,29 @@ A :class:`CodecContext` bundles one backend with one plan cache and its
 hit/miss counters.  All sessions of a simulation share a single context, so
 the first block of the first transfer pays for elimination and every later
 block with the same parameters rides the cache.
+
+Because plans are immutable they can also cross process boundaries: a
+context can export its cache as a picklable :class:`~repro.rq.plan.PlanStore`
+(:meth:`CodecContext.snapshot_plans`) and a fresh context can be seeded from
+one (the ``preload`` constructor argument).  :func:`prewarm_encode_plans` /
+:func:`prewarm_decode_plans` build stores ahead of time; the parallel
+experiment executor (:mod:`repro.experiments.parallel`) uses them so every
+worker process starts with a warm cache.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Optional, Sequence, Union
+from typing import ClassVar, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.rq.matrix import build_constraint_matrix
-from repro.rq.params import CodeParameters
+from repro.rq.params import CodeParameters, for_k
 from repro.rq.plan import (
     EliminationPlan,
     PlanCache,
+    PlanStore,
     build_plan,
     constraint_matrix,
     received_matrix,
@@ -168,18 +177,29 @@ class CodecContext:
     Create one per simulation (the experiment runner does) and hand it to
     every agent so all sessions amortise plan construction; the module-level
     :func:`default_context` serves library users who do not manage contexts.
+
+    Args:
+        backend: a registered backend name (``"planned"`` / ``"reference"``)
+            or an already-constructed :class:`CodecBackend` instance.
+        max_cached_plans: LRU capacity of the elimination-plan cache.
+        preload: optional :class:`~repro.rq.plan.PlanStore` whose plans seed
+            the cache before any block is processed (used by sharded runs so
+            workers start warm; preloading counts neither hits nor misses).
     """
 
     def __init__(
         self,
         backend: Union[str, CodecBackend] = DEFAULT_BACKEND,
         max_cached_plans: int = 256,
+        preload: Optional[PlanStore] = None,
     ) -> None:
         self.backend = create_backend(backend) if isinstance(backend, str) else backend
         self.stats = CacheStats(name="rq_plan_cache")
         self._plans = PlanCache(max_entries=max_cached_plans)
         self.blocks_encoded = 0
         self.blocks_decoded = 0
+        if preload is not None:
+            self._plans.preload(preload)
 
     @property
     def backend_name(self) -> str:
@@ -213,6 +233,14 @@ class CodecContext:
         self.blocks_decoded += 1
         return self.backend.solve_received(self, params, tuple(esis), received)
 
+    def snapshot_plans(self) -> PlanStore:
+        """Export the current plan cache as a picklable :class:`PlanStore`."""
+        return self._plans.snapshot()
+
+    def preload_plans(self, store: PlanStore) -> int:
+        """Seed the plan cache from a store; returns how many plans were new."""
+        return self._plans.preload(store)
+
     def stats_dict(self) -> dict:
         """A JSON-friendly snapshot for experiment reports."""
         return {
@@ -240,3 +268,55 @@ def set_default_backend(name: str) -> CodecContext:
     global _default_context
     _default_context = CodecContext(name)
     return _default_context
+
+
+# Plan pre-warming -------------------------------------------------------------------
+#
+# These build the same plans, under the same keys, that PlannedBackend would
+# build lazily, so a store produced here is indistinguishable from one
+# snapshotted after a run.
+
+
+def prewarm_encode_plans(
+    k_values: Iterable[int], store: Optional[PlanStore] = None
+) -> PlanStore:
+    """Build the encode-side elimination plan for each block size K.
+
+    The encode-side matrix is a pure function of K, so pre-warming is exact:
+    every block of ``k`` source symbols anywhere in a run will hit.  Returns
+    the (possibly supplied) store with the plans added.
+    """
+    store = store if store is not None else PlanStore()
+    for k in sorted(set(k_values)):
+        params = for_k(k)
+        key = ("encode", params)
+        if key not in store:
+            store.add(key, build_plan(constraint_matrix(params), record_steps=False))
+    return store
+
+
+def prewarm_decode_plans(
+    k: int, esi_sets: Iterable[Sequence[int]], store: Optional[PlanStore] = None
+) -> PlanStore:
+    """Build decode-side plans for explicit received-ESI sets of a K-symbol block.
+
+    Decode plans are keyed by the *exact* set of received ESIs, which depends
+    on which packets the network lost -- the parent cannot enumerate them in
+    general.  This helper exists for callers that do know their loss patterns
+    (tests, replay tooling); the parallel executor pre-warms only encode
+    plans and lets decode plans accumulate per worker.
+    """
+    store = store if store is not None else PlanStore()
+    params = for_k(k)
+    for esis in esi_sets:
+        key = ("decode", params, tuple(esis))
+        if key not in store:
+            store.add(
+                key,
+                build_plan(
+                    received_matrix(params, tuple(esis)),
+                    num_unknowns=params.num_intermediate_symbols,
+                    record_steps=False,
+                ),
+            )
+    return store

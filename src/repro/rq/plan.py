@@ -21,10 +21,12 @@ across sessions, simulations and (later) processes.
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Hashable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Hashable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -191,13 +193,77 @@ def received_matrix(params: CodeParameters, esis: Sequence[int]) -> np.ndarray:
     return matrix
 
 
+@dataclass
+class PlanStore:
+    """A picklable bag of elimination plans, keyed like the live plan cache.
+
+    This is the artifact that crosses process boundaries: the parent of a
+    sharded experiment snapshots (or pre-warms) a store, serialises it once,
+    and every worker preloads its per-run :class:`PlanCache` from it so warm
+    -block speedups apply from the first block of the first transfer.  Plans
+    are immutable, so a store can be shared by any number of caches.
+
+    Keys follow the convention of :mod:`repro.rq.backend`:
+    ``("encode", params)`` for encode-side plans and
+    ``("decode", params, esis)`` for decode-side plans.
+    """
+
+    plans: dict[Hashable, EliminationPlan] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.plans
+
+    def add(self, key: Hashable, plan: EliminationPlan) -> None:
+        """Insert (or replace) one plan."""
+        self.plans[key] = plan
+
+    def merge(self, other: "PlanStore") -> None:
+        """Absorb every plan of ``other`` (existing keys are kept)."""
+        for key, plan in other.plans.items():
+            self.plans.setdefault(key, plan)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the store (pickle) for shipping to worker processes."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PlanStore":
+        """Rebuild a store serialised with :meth:`to_bytes`."""
+        store = pickle.loads(payload)
+        if not isinstance(store, cls):
+            raise TypeError(f"payload does not contain a PlanStore (got {type(store)!r})")
+        return store
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the store to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PlanStore":
+        """Read a store previously written by :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    def __setstate__(self, state: Mapping) -> None:
+        # Unpickled numpy arrays come back writable; re-freeze the operators
+        # so shared plans stay immutable in every process.
+        self.__dict__.update(state)
+        for plan in self.plans.values():
+            plan.operator.setflags(write=False)
+
+
 class PlanCache:
     """A bounded LRU mapping of plan keys to :class:`EliminationPlan` objects.
 
     One instance is shared by every session of a simulation (via the
     :class:`repro.rq.backend.CodecContext`); because plans are immutable the
-    cache needs no locking for the single-threaded simulator and can be
-    shared read-only by future multi-process shards.
+    cache needs no locking for the single-threaded simulator, and its
+    contents can be exported to / imported from a :class:`PlanStore` for
+    multi-process shards.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -224,3 +290,25 @@ class PlanCache:
             self._plans.popitem(last=False)
             self.evictions += 1
         return plan, False
+
+    def snapshot(self) -> PlanStore:
+        """Export the current contents as an immutable, picklable store."""
+        return PlanStore(dict(self._plans))
+
+    def preload(self, store: PlanStore) -> int:
+        """Seed the cache from a store; returns how many plans were inserted.
+
+        Preloading does not count as hits or misses (nothing was looked up)
+        but does respect ``max_entries``: if the store is larger than the
+        cache, the oldest insertions are evicted as usual.
+        """
+        inserted = 0
+        for key, plan in store.plans.items():
+            if key in self._plans:
+                continue
+            self._plans[key] = plan
+            inserted += 1
+            if len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return inserted
