@@ -1,20 +1,25 @@
 """Command-line interface: regenerate any figure or ablation from a terminal.
 
-Usage (after installing the package)::
+Usage (``python -m repro`` and ``python -m repro.cli`` are equivalent)::
 
-    python -m repro.cli figure1a
-    python -m repro.cli figure1a --seeds 5 --jobs 4     # sharded multi-seed sweep
-    python -m repro.cli figure1c --senders 1 2 4 8 12 --seeds 3
-    python -m repro.cli ablations
-    python -m repro.cli hotspot
-    python -m repro.cli mix
-    python -m repro.cli all --fattree-k 4 --sessions 24
+    python -m repro figure1a
+    python -m repro figure1a --seeds 5 --jobs 4     # sharded multi-seed sweep
+    python -m repro figure1c --senders 1 2 4 8 12 --seeds 3
+    python -m repro ablations
+    python -m repro hotspot
+    python -m repro mix
+    python -m repro resilience --intensities 0 0.5 1.0
+    python -m repro all --fattree-k 4 --sessions 24
 
 Each command prints the same text table the corresponding benchmark produces,
 followed by the merged RQ plan-cache counters for the coded series.
 ``--jobs N`` shards a sweep's independent runs over N worker processes
-(:mod:`repro.experiments.parallel`); the output is byte-identical to
-``--jobs 1``, only faster on multi-core machines.
+(:mod:`repro.experiments.parallel`); ``--jobs auto`` uses one worker per CPU
+core.  The output is byte-identical for every jobs value, only faster on
+multi-core machines.  ``--progress`` logs one stderr line per finished run,
+and ``--plan-cache`` persists factorised elimination plans across
+invocations (default file under ``~/.cache/repro/``, keyed by package
+version).
 """
 
 from __future__ import annotations
@@ -34,13 +39,22 @@ from repro.experiments.figure1a import run_figure1a
 from repro.experiments.figure1b import run_figure1b
 from repro.experiments.figure1c import run_figure1c
 from repro.experiments.hotspot import format_hotspot, run_hotspot_experiment
+from repro.experiments.parallel import (
+    default_plan_cache_path,
+    log_progress,
+    resolve_jobs,
+    set_plan_cache_path,
+    set_progress_logger,
+)
 from repro.experiments.report import (
     format_ablation,
     format_codec_stats,
     format_figure1c,
     format_overhead,
     format_rank_figure,
+    format_resilience,
 )
+from repro.experiments.resilience import run_resilience
 from repro.experiments.workload_mix import format_workload_mix, run_workload_mix
 from repro.utils.units import KILOBYTE
 
@@ -56,6 +70,27 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _jobs_type(value: str) -> int:
+    try:
+        return resolve_jobs(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive integer or 'auto', got {value!r}"
+        )
+
+
+def _intensity_type(value: str) -> float:
+    try:
+        intensity = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"intensity must be a number, got {value!r}")
+    if not 0.0 <= intensity <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"intensity must be a fraction in [0, 1], got {value}"
+        )
+    return intensity
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fattree-k", type=int, default=4,
                         help="fat-tree arity (k=10 is the paper's 250-host fabric)")
@@ -68,9 +103,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="base random seed")
     parser.add_argument("--max-sim-time", type=float, default=30.0,
                         help="simulation-time cap per run (seconds)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes to shard independent runs across "
-                             "(results are identical for any value)")
+    parser.add_argument("--jobs", type=_jobs_type, default=1, metavar="N|auto",
+                        help="worker processes to shard independent runs across; "
+                             "'auto' uses one per CPU core (results are identical "
+                             "for any value)")
+    parser.add_argument("--progress", action="store_true",
+                        help="log one stderr line per finished run")
+    parser.add_argument("--plan-cache", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="persist/reload factorised elimination plans across "
+                             "invocations; without PATH, a per-package-version file "
+                             "under ~/.cache/repro/ is used")
 
 
 def _seeds(args: argparse.Namespace, default: int = 1) -> int:
@@ -122,6 +165,16 @@ def _cmd_mix(args: argparse.Namespace) -> str:
     return format_workload_mix(run_workload_mix(_build_config(args), jobs=args.jobs))
 
 
+def _cmd_resilience(args: argparse.Namespace) -> str:
+    result = run_resilience(
+        _build_config(args),
+        intensities=tuple(args.intensities),
+        num_seeds=_seeds(args),
+        jobs=args.jobs,
+    )
+    return format_resilience(result) + "\n\n" + format_codec_stats(result.codec_stats)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     return "\n\n".join(
         [
@@ -131,6 +184,7 @@ def _cmd_all(args: argparse.Namespace) -> str:
             _cmd_ablations(args),
             _cmd_hotspot(args),
             _cmd_mix(args),
+            _cmd_resilience(args),
         ]
     )
 
@@ -149,14 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablations", _cmd_ablations, "design-choice ablations A1-A4"),
         ("hotspot", _cmd_hotspot, "network-hotspot extension experiment"),
         ("mix", _cmd_mix, "heavy-tailed workload-mix extension experiment"),
+        ("resilience", _cmd_resilience,
+         "path-resilience sweep under injected faults"),
         ("all", _cmd_all, "everything above in sequence"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_arguments(sub)
         sub.set_defaults(handler=handler)
-        # --seeds only applies to the figure sweeps; ablations/hotspot/mix
+        # --seeds only applies to the multi-seed sweeps; ablations/hotspot/mix
         # are single-seed by design, so they simply don't accept the flag.
-        if name in ("figure1a", "figure1b", "figure1c", "all"):
+        if name in ("figure1a", "figure1b", "figure1c", "resilience", "all"):
             sub.add_argument("--seeds", type=int, default=None,
                              help="repetition seeds per series (default: 1; figure1c: 3)")
         if name in ("figure1c", "all"):
@@ -164,13 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
                              help="sender counts to sweep")
             sub.add_argument("--response-kb", type=int, nargs="+", default=[256, 70],
                              help="response sizes in kilobytes")
+        if name in ("resilience", "all"):
+            sub.add_argument("--intensities", type=_intensity_type, nargs="+",
+                             default=[0.0, 0.3, 0.6, 1.0],
+                             help="fault intensities in [0, 1] to sweep (0 = healthy "
+                                  "baseline, always included)")
     return parser
+
+
+def _apply_execution_options(args: argparse.Namespace) -> None:
+    """Install process-wide executor options (progress logging, plan cache)."""
+    if getattr(args, "progress", False):
+        set_progress_logger(log_progress)
+    plan_cache = getattr(args, "plan_cache", None)
+    if plan_cache is not None:
+        path = default_plan_cache_path() if plan_cache == "auto" else plan_cache
+        set_plan_cache_path(path)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the requested command, print its table."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_execution_options(args)
     output = args.handler(args)
     print(output)
     return 0

@@ -20,7 +20,13 @@ Sessions are one-to-many (replication / multicast), many-to-one
 
 from repro.core.agent import POLYRAPTOR_PROTOCOL, PolyraptorAgent
 from repro.core.config import PolyraptorConfig
-from repro.core.packets import DonePayload, PullPayload, RequestPayload, SymbolPayload
+from repro.core.packets import (
+    DoneAckPayload,
+    DonePayload,
+    PullPayload,
+    RequestPayload,
+    SymbolPayload,
+)
 from repro.core.pull_queue import PullPacer
 from repro.core.receiver import ReceiverSession
 from repro.core.sender import SenderSession
@@ -37,5 +43,6 @@ __all__ = [
     "SymbolPayload",
     "PullPayload",
     "RequestPayload",
+    "DoneAckPayload",
     "DonePayload",
 ]

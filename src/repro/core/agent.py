@@ -5,7 +5,13 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.config import PolyraptorConfig
-from repro.core.packets import DonePayload, PullPayload, RequestPayload, SymbolPayload
+from repro.core.packets import (
+    DoneAckPayload,
+    DonePayload,
+    PullPayload,
+    RequestPayload,
+    SymbolPayload,
+)
 from repro.core.pull_queue import PullPacer
 from repro.core.receiver import ReceiverSession
 from repro.core.sender import SenderSession
@@ -171,6 +177,10 @@ class PolyraptorAgent:
             session = self._senders.get(payload.session_id)
             if session is not None:
                 session.on_done(payload)
+        elif isinstance(payload, DoneAckPayload):
+            session = self._receivers.get(payload.session_id)
+            if session is not None:
+                session.on_done_ack(payload)
         else:
             raise TypeError(f"unexpected Polyraptor payload: {payload!r}")
 

@@ -40,6 +40,15 @@ class PolyraptorConfig:
         stall_timeout_s: receiver-side timer; if nothing arrives for this long
             on an incomplete session, the receiver re-issues pulls (guards
             against the rare loss of trimmed headers).
+        done_retry_limit: how many times a completed receiver re-sends an
+            unacknowledged DONE notification, with exponential backoff
+            starting at ``stall_timeout_s``.  DONE is a single control
+            packet; if the fabric drops it -- e.g. on a link a fault
+            schedule took down -- the sender would otherwise wait forever
+            and the transfer would never be recorded as complete.  Senders
+            acknowledge every DONE (healthy sessions therefore never
+            retry), retries are idempotent, and the cap keeps event heaps
+            finite when a sender stays unreachable.
         straggler_detection: enable the multicast straggler extension (detach
             receivers that fall too far behind into a unicast leg).
         straggler_lag_symbols: how many pulls a receiver may lag behind the
@@ -63,6 +72,7 @@ class PolyraptorConfig:
     carry_payload: bool = False
     divide_initial_window_among_senders: bool = True
     stall_timeout_s: float = 500 * MICROSECOND
+    done_retry_limit: int = 8
     straggler_detection: bool = False
     straggler_lag_symbols: int = 12
     codec_backend: str = "planned"
@@ -83,6 +93,7 @@ class PolyraptorConfig:
         check_positive("control_bytes", self.control_bytes)
         check_positive("max_symbols_per_block", self.max_symbols_per_block)
         check_positive("stall_timeout_s", self.stall_timeout_s)
+        check_non_negative("done_retry_limit", self.done_retry_limit)
         check_positive("straggler_lag_symbols", self.straggler_lag_symbols)
 
     @property

@@ -1,6 +1,6 @@
 """Polyraptor packet payload descriptors.
 
-Four packet types make up the protocol:
+Five packet types make up the protocol:
 
 * :class:`SymbolPayload`  -- an encoding symbol (DATA; trimmable);
 * :class:`PullPayload`    -- a receiver's request for one more symbol
@@ -8,7 +8,10 @@ Four packet types make up the protocol:
 * :class:`RequestPayload` -- session establishment for many-to-one fetches
   (control, priority);
 * :class:`DonePayload`    -- a receiver informing a sender that it has
-  decoded the object (control, priority).
+  decoded the object (control, priority; retransmitted with capped backoff
+  until acknowledged);
+* :class:`DoneAckPayload` -- the sender's acknowledgement that stops the
+  DONE retries (control, priority).
 """
 
 from __future__ import annotations
@@ -69,3 +72,17 @@ class DonePayload:
 
     session_id: int
     receiver_host: int
+
+
+@dataclass(frozen=True)
+class DoneAckPayload:
+    """Sender-to-receiver acknowledgement of a DONE.
+
+    DONE is retransmitted with capped backoff (a lost DONE would leave the
+    sender pull-clocked forever); the ack lets the receiver cancel the
+    retries as soon as one copy got through, so healthy runs pay exactly one
+    DONE and one ack per (receiver, sender) pair.
+    """
+
+    session_id: int
+    sender_host: int

@@ -25,7 +25,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import PolyraptorConfig
-from repro.core.packets import DonePayload, PullPayload, RequestPayload, SymbolPayload
+from repro.core.packets import (
+    DoneAckPayload,
+    DonePayload,
+    PullPayload,
+    RequestPayload,
+    SymbolPayload,
+)
 from repro.network.packet import Packet, make_control_packet
 from repro.rq.block import EncodedSymbol, ObjectDecoder, partition_object
 from repro.rq.decoder import DecodeFailure
@@ -74,9 +80,12 @@ class ReceiverSession:
         self.trimmed_received = 0
         self.duplicate_symbols = 0
         self.stall_events = 0
+        self.done_retries = 0
+        self._done_acked: set[int] = set()
 
         self._stall_timer = Timer(agent.sim, self._on_stall)
         self._stall_timer.start(self.config.stall_timeout_s)
+        self._done_timer = Timer(agent.sim, self._retry_done)
 
     # Session initiation -----------------------------------------------------------
 
@@ -227,7 +236,16 @@ class ReceiverSession:
         self.completion_time = self.agent.sim.now
         self._stall_timer.stop()
         self.agent.pacer.cancel_session(self.session_id)
-        for sender in sorted(self._known_senders | set(self.expected_senders)):
+        self._broadcast_done()
+        if self.config.done_retry_limit > 0:
+            self._done_timer.start(self.config.stall_timeout_s)
+        if self._on_complete is not None:
+            self._on_complete(self.agent.sim.now)
+
+    def _broadcast_done(self) -> None:
+        """Send DONE to every sender that has not acknowledged one yet."""
+        unacked = (self._known_senders | set(self.expected_senders)) - self._done_acked
+        for sender in sorted(unacked):
             done = DonePayload(session_id=self.session_id, receiver_host=self.agent.host.node_id)
             packet = make_control_packet(
                 protocol=self.agent.PROTOCOL,
@@ -239,5 +257,23 @@ class ReceiverSession:
                 created_at=self.agent.sim.now,
             )
             self.agent.host.send(packet)
-        if self._on_complete is not None:
-            self._on_complete(self.agent.sim.now)
+
+    def on_done_ack(self, ack: DoneAckPayload) -> None:
+        """A sender confirmed our DONE; stop retrying once every sender has."""
+        self._done_acked.add(ack.sender_host)
+        if not (self._known_senders | set(self.expected_senders)) - self._done_acked:
+            self._done_timer.stop()
+
+    def _retry_done(self) -> None:
+        """Re-send the unacknowledged DONE with exponential backoff.
+
+        A DONE lost to the fabric (a fault-downed link, a trimming overflow)
+        would leave the sender pull-clocked on a receiver that will never
+        pull again.  Acks cancel the retries in the healthy case; the
+        ``done_retry_limit`` cap keeps the event heap finite when a sender
+        stays unreachable to the end of the run.
+        """
+        self.done_retries += 1
+        self._broadcast_done()
+        if self.done_retries < self.config.done_retry_limit:
+            self._done_timer.start(self.config.stall_timeout_s * (2 ** self.done_retries))

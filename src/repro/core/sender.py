@@ -22,9 +22,9 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import PolyraptorConfig
-from repro.core.packets import DonePayload, PullPayload, SymbolPayload
+from repro.core.packets import DoneAckPayload, DonePayload, PullPayload, SymbolPayload
 from repro.core.straggler import StragglerPolicy
-from repro.network.packet import Packet, PacketKind
+from repro.network.packet import Packet, PacketKind, make_control_packet
 from repro.rq.block import ObjectEncoder, partition_object
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,10 +86,7 @@ class SenderSession:
         self._pulls_by_receiver: dict[int, int] = {r: 0 for r in receiver_host_ids}
         self._last_hint: dict[int, Optional[int]] = {r: None for r in receiver_host_ids}
         self._default_hint: Optional[int] = None
-        self.straggler_policy = StragglerPolicy(
-            enabled=self.config.straggler_detection,
-            lag_symbols=self.config.straggler_lag_symbols,
-        )
+        self.straggler_policy = StragglerPolicy.from_config(self.config)
 
         self._encoder: Optional[ObjectEncoder] = None
         if self.config.carry_payload:
@@ -161,6 +158,22 @@ class SenderSession:
     def on_done(self, done: DonePayload) -> None:
         """Handle a receiver's DONE notification."""
         receiver = done.receiver_host
+        # Always acknowledge, duplicates included: the receiver retransmits
+        # DONE until an ack arrives, and an earlier ack may itself have been
+        # lost to the fabric.
+        self.agent.host.send(
+            make_control_packet(
+                protocol=self.agent.PROTOCOL,
+                src=self.agent.host.node_id,
+                dst=receiver,
+                payload=DoneAckPayload(
+                    session_id=self.session_id, sender_host=self.agent.host.node_id
+                ),
+                flow_id=self.session_id,
+                size_bytes=self.config.control_bytes,
+                created_at=self.agent.sim.now,
+            )
+        )
         if receiver in self._done_receivers:
             return
         self._done_receivers.add(receiver)

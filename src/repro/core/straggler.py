@@ -11,11 +11,23 @@ policy below watches per-receiver pull counts; a receiver whose pull count
 falls more than ``lag_symbols`` behind the fastest receiver is declared a
 straggler.  The sender then detaches it: it stops participating in pull
 aggregation and is served through a dedicated unicast leg instead.
+
+This module is the *detection* half of the straggler story.  The *injection*
+half -- actually making a host slow, declaratively and under seed control --
+lives in the fault subsystem: a ``host_slowdown`` event of a
+:class:`repro.faults.schedule.FaultSchedule` (or the
+:func:`repro.faults.schedule.straggler_schedule` builder) degrades the
+host's NIC, and this policy then detaches it exactly as it would a
+naturally slow receiver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids an import cycle
+    from repro.core.config import PolyraptorConfig
 
 
 @dataclass(frozen=True)
@@ -24,6 +36,14 @@ class StragglerPolicy:
 
     enabled: bool = False
     lag_symbols: int = 12
+
+    @classmethod
+    def from_config(cls, config: "PolyraptorConfig") -> "StragglerPolicy":
+        """The policy a Polyraptor configuration asks for."""
+        return cls(
+            enabled=config.straggler_detection,
+            lag_symbols=config.straggler_lag_symbols,
+        )
 
     def find_stragglers(
         self, pulls_by_receiver: dict[int, int], active_receivers: set[int]

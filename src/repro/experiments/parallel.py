@@ -43,21 +43,74 @@ Typical use (what the figure drivers do internally)::
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Hashable, Iterable, Optional, Sequence, Union
 
+from repro._version import __version__
 from repro.core.config import PolyraptorConfig
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.runner import RunResult, run_transfers
+from repro.faults.schedule import FaultSchedule
 from repro.network.network import NetworkConfig
 from repro.network.topology import FatTreeTopology
 from repro.rq.backend import CodecContext, prewarm_encode_plans
 from repro.rq.block import partition_object
+from repro.rq.params import for_k
 from repro.rq.plan import PlanStore
 
 #: Start method used for worker pools; ``spawn`` is the portable choice and
 #: proves that every job artefact survives pickling.
 DEFAULT_START_METHOD = "spawn"
+
+#: Called after each job completes (in job order): (index, total, job, result).
+ProgressCallback = Callable[[int, int, "RunJob", RunResult], None]
+
+
+def resolve_jobs(jobs: Union[int, str]) -> int:
+    """Resolve a worker count: ``"auto"`` means one worker per CPU core.
+
+    Accepts an int, a decimal string, or the literal ``"auto"`` (case
+    insensitive); anything else, or a count below 1, raises ``ValueError``.
+    This is what the CLI's ``--jobs`` flag funnels through.
+    """
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    return jobs
+
+
+def log_progress(index: int, total: int, job: "RunJob", result: RunResult) -> None:
+    """The default per-job progress logger: one stderr line per finished job.
+
+    Written to stderr so the stdout tables stay byte-identical whether or
+    not progress logging is on.
+    """
+    print(
+        f"[repro] job {index + 1}/{total} done  key={job.key!r}  "
+        f"protocol={job.protocol.value}  sim={result.sim_time_s:.3f}s  "
+        f"wall={result.wall_time_s:.2f}s",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+#: Process-wide default progress callback; ``execute_jobs`` falls back to it
+#: when no explicit ``progress`` argument is given.  The CLI installs
+#: :func:`log_progress` here so every sweep of an invocation reports per-job
+#: progress without threading a callback through each scenario module.
+_default_progress: Optional[ProgressCallback] = None
+
+
+def set_progress_logger(callback: Optional[ProgressCallback]) -> None:
+    """Install (or, with ``None``, remove) the process-wide progress callback."""
+    global _default_progress
+    _default_progress = callback
 
 
 @dataclass(frozen=True)
@@ -77,6 +130,9 @@ class RunJob:
             initial-window ablation).
         network_config: optional fabric override (used by the trimming and
             spraying ablations).
+        fault_schedule: optional declarative fault schedule executed against
+            the run's fabric (used by the resilience experiment); schedules
+            are immutable value objects, so they pickle to workers unchanged.
     """
 
     key: Hashable
@@ -85,6 +141,7 @@ class RunJob:
     transfers: tuple
     polyraptor_config: Optional[PolyraptorConfig] = None
     network_config: Optional[NetworkConfig] = None
+    fault_schedule: Optional[FaultSchedule] = None
 
 
 def sweep_block_sizes(jobs: Iterable[RunJob]) -> set[int]:
@@ -117,11 +174,74 @@ def plan_store_for_jobs(jobs: Sequence[RunJob]) -> Optional[PlanStore]:
     store is shipped.  Encode plans are exact (a pure function of K); decode
     plans depend on which packets the fabric lost, so they are left to
     accumulate in each worker's cache.
+
+    When a persistent plan-cache path is installed (see
+    :func:`set_plan_cache_path`), previously saved plans are loaded first so
+    only the sweep's *missing* block sizes are factorised, and the merged
+    store is written back for the next process.  Only the plans this sweep
+    actually needs are returned (and therefore shipped to workers) -- the
+    cache file may have accumulated plans for every block size ever run.
     """
     sizes = sweep_block_sizes(jobs)
     if not sizes:
         return None
-    return prewarm_encode_plans(sizes)
+    store: Optional[PlanStore] = None
+    path = _plan_cache_path
+    if path is not None and path.exists():
+        try:
+            store = PlanStore.load(path)
+        except Exception:
+            store = None  # a corrupt/stale cache file is rebuilt, never fatal
+    known = len(store) if store is not None else 0
+    store = prewarm_encode_plans(sizes, store=store)
+    if path is not None and len(store) != known:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Merge the latest on-disk contents before writing so a concurrent
+        # invocation's contributions survive, then replace atomically so no
+        # reader ever observes a torn file.  (The merge narrows, but does not
+        # close, the lost-update window -- acceptable for a pure cache whose
+        # worst case is refactorising a plan.)
+        try:
+            store.merge(PlanStore.load(path))
+        except Exception:
+            pass
+        temp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        store.save(temp)
+        os.replace(temp, path)
+    needed = {("encode", for_k(k)) for k in sizes}
+    return PlanStore({key: plan for key, plan in store.plans.items() if key in needed})
+
+
+# Persistent cross-run plan cache ----------------------------------------------------
+#
+# The CLI's --plan-cache flag installs a process-wide cache file here: every
+# sweep of the invocation then reloads previously factorised encode plans
+# instead of rebuilding them, and contributes any new ones back.  The default
+# file name is keyed by the package version, which invalidates the cache
+# across releases; a codec change within an unreleased tree must bump the
+# version (or the user delete the file) to avoid replaying plans built by
+# the old solver -- plans are data, so a *format* change simply fails to
+# unpickle and is rebuilt.
+
+_plan_cache_path: Optional[Path] = None
+
+
+def default_plan_cache_path() -> Path:
+    """The conventional persistent plan-cache location, keyed by package version."""
+    return Path.home() / ".cache" / "repro" / f"plans-v{__version__}.pkl"
+
+
+def set_plan_cache_path(path: Optional[Union[str, Path]]) -> Optional[Path]:
+    """Install (or, with ``None``, remove) the persistent plan-cache file.
+
+    Returns the resolved path.  Affects every subsequent
+    :func:`plan_store_for_jobs` / :func:`execute_jobs` call in this process;
+    the cache never changes results, only how much elimination work a fresh
+    process repeats.
+    """
+    global _plan_cache_path
+    _plan_cache_path = Path(path).expanduser() if path is not None else None
+    return _plan_cache_path
 
 
 def run_job(job: RunJob, plan_store: Optional[PlanStore] = None) -> RunResult:
@@ -146,6 +266,7 @@ def run_job(job: RunJob, plan_store: Optional[PlanStore] = None) -> RunResult:
         polyraptor_config=job.polyraptor_config,
         network_config=job.network_config,
         codec_context=codec_context,
+        fault_schedule=job.fault_schedule,
     )
 
 
@@ -172,6 +293,7 @@ def execute_jobs(
     num_workers: int = 1,
     plan_store: Optional[PlanStore] = None,
     start_method: str = DEFAULT_START_METHOD,
+    progress: Optional[ProgressCallback] = None,
 ) -> list[RunResult]:
     """Run every job and return their results in job order.
 
@@ -184,6 +306,9 @@ def execute_jobs(
             pre-warmed automatically for payload-carrying Polyraptor jobs
             (see :func:`plan_store_for_jobs`).
         start_method: multiprocessing start method; ``spawn`` by default.
+        progress: optional per-job callback ``(index, total, job, result)``,
+            invoked in job order as results arrive (the CLI wires
+            :func:`log_progress` here); it never affects results.
 
     Returns:
         ``[run_job(job) for job in jobs]`` -- the merge is a stable,
@@ -191,17 +316,31 @@ def execute_jobs(
         no matter how many workers ran.
     """
     jobs = list(jobs)
+    total = len(jobs)
+    if progress is None:
+        progress = _default_progress
     if plan_store is None:
         plan_store = plan_store_for_jobs(jobs)
-    if num_workers <= 1 or len(jobs) <= 1:
-        return [run_job(job, plan_store) for job in jobs]
+    if num_workers <= 1 or total <= 1:
+        results: list[RunResult] = []
+        for index, job in enumerate(jobs):
+            result = run_job(job, plan_store)
+            if progress is not None:
+                progress(index, total, job, result)
+            results.append(result)
+        return results
     context = multiprocessing.get_context(start_method)
     store_bytes = plan_store.to_bytes() if plan_store is not None else None
     with context.Pool(
-        processes=min(num_workers, len(jobs)),
+        processes=min(num_workers, total),
         initializer=_init_worker,
         initargs=(store_bytes,),
     ) as pool:
-        # Pool.map preserves input order; chunksize=1 keeps long jobs from
+        # Pool.imap preserves input order; chunksize=1 keeps long jobs from
         # serialising behind each other on one worker.
-        return pool.map(_run_job_in_worker, jobs, chunksize=1)
+        results = []
+        for index, result in enumerate(pool.imap(_run_job_in_worker, jobs, chunksize=1)):
+            if progress is not None:
+                progress(index, total, jobs[index], result)
+            results.append(result)
+        return results

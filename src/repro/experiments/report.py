@@ -7,6 +7,7 @@ rows/series the paper's figures report.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids circular imports
@@ -14,6 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids circular imports
     from repro.experiments.figure1a import Figure1aResult
     from repro.experiments.figure1b import Figure1bResult
     from repro.experiments.figure1c import Figure1cResult
+    from repro.experiments.resilience import ResilienceResult
 
 
 def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -145,6 +147,114 @@ def format_codec_stats(
         rows,
     )
     return f"{title}\n{table}"
+
+
+def merge_fault_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
+    """Aggregate per-run fault statistics across the shards of a sweep.
+
+    Every counter is additive (event counts, fault-caused packet drops,
+    rerouted table entries), so shards simply sum; a ``shards`` field records
+    how many runs contributed.  Runs without fault injection (``None``) are
+    skipped; returns ``None`` when no run carried stats.
+    """
+    present = [stats for stats in stats_list if stats]
+    if not present:
+        return None
+    keys = sorted({key for stats in present for key in stats})
+    merged = {key: sum(stats.get(key, 0) for stats in present) for key in keys}
+    merged["shards"] = len(present)
+    return merged
+
+
+def format_fault_stats(
+    stats_by_label: Mapping[str, Optional[dict]],
+    title: str = "Fault counters",
+) -> str:
+    """Render per-series fault counters (events applied, drops, reroutes).
+
+    Series that ran on a healthy fabric (``None`` stats, e.g. the intensity-0
+    baselines) render as ``-`` rows so every row of an experiment is listed.
+    """
+    rows = []
+    for label in sorted(stats_by_label):
+        stats = stats_by_label[label]
+        if not stats:
+            rows.append([label] + ["-"] * 7)
+            continue
+        rows.append(
+            [
+                label,
+                str(stats.get("links_failed", 0)),
+                str(stats.get("links_degraded", 0)),
+                str(stats.get("links_lossy", 0)),
+                str(stats.get("switches_failed", 0)),
+                str(stats.get("reroutes", 0)),
+                str(
+                    stats.get("packets_dropped_link_down", 0)
+                    + stats.get("packets_dropped_switch_down", 0)
+                ),
+                str(stats.get("packets_dropped_random_loss", 0)),
+            ]
+        )
+    table = _format_table(
+        [
+            "series",
+            "links down",
+            "degraded",
+            "lossy",
+            "switch down",
+            "reroutes",
+            "pkts dead-path",
+            "pkts rand-loss",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}"
+
+
+def format_resilience(
+    result: ResilienceResult,
+    title: str = "Resilience -- FCT degradation under injected faults",
+) -> str:
+    """Render the resilience sweep: degradation table plus fault counters.
+
+    One row per (protocol, intensity) with completion, FCT quantiles and the
+    FCT ratio against the same protocol's healthy (intensity 0) baseline,
+    followed by the per-cell fault counter table.
+    """
+    def quantile(value: float) -> str:
+        # A cell with no completed transfers has infinite FCT quantiles;
+        # render those as "-" like the undefined degradation ratio.
+        return f"{value:.3f}" if math.isfinite(value) else "-"
+
+    rows = []
+    fault_stats: dict[str, Optional[dict]] = {}
+    for (protocol_value, intensity), point in sorted(result.points.items()):
+        rows.append(
+            [
+                protocol_value,
+                f"{intensity:.2f}",
+                f"{point.completed}/{point.offered}",
+                quantile(point.median_fct_ms),
+                quantile(point.p90_fct_ms),
+                f"{point.mean_goodput_gbps:.3f}",
+                f"{point.fct_vs_healthy:.2f}x" if point.fct_vs_healthy is not None else "-",
+            ]
+        )
+        fault_stats[f"{protocol_value} @ {intensity:.2f}"] = point.fault_stats
+    table = _format_table(
+        [
+            "protocol",
+            "intensity",
+            "completed",
+            "median FCT ms",
+            "p90 FCT ms",
+            "mean Gbps",
+            "vs healthy",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}\n\n{format_fault_stats(fault_stats)}"
 
 
 def format_overhead(points: Sequence[OverheadPoint], title: str = "RQ decode overhead") -> str:

@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.agent import PolyraptorAgent
 from repro.core.config import PolyraptorConfig
 from repro.experiments.config import ExperimentConfig, Protocol
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.network.network import Network, NetworkConfig
 from repro.network.topology import FatTreeTopology, Topology
 from repro.rq.backend import CodecContext
@@ -55,6 +57,9 @@ class RunResult:
     #: Codec-layer statistics (backend name, plan-cache hits/misses) for
     #: Polyraptor runs; ``None`` for TCP runs, which do no coding.
     codec_stats: Optional[dict] = None
+    #: Fault-layer statistics (per-event counters, fault-caused packet drops,
+    #: reroutes) when a fault schedule drove the run; ``None`` otherwise.
+    fault_stats: Optional[dict] = None
 
     @property
     def completion_fraction(self) -> float:
@@ -77,6 +82,7 @@ class _Environment:
     tcp_agents: dict[str, TcpAgent]
     codec_context: Optional[CodecContext] = None
     polyraptor_config: Optional[PolyraptorConfig] = None
+    fault_injector: Optional[FaultInjector] = None
 
 
 def build_environment(
@@ -87,6 +93,7 @@ def build_environment(
     polyraptor_config: Optional[PolyraptorConfig] = None,
     network_config: Optional[NetworkConfig] = None,
     codec_context: Optional[CodecContext] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> _Environment:
     """Build the simulator, network and per-host agents for one protocol.
 
@@ -103,12 +110,20 @@ def build_environment(
         codec_context: a pre-built codec context (e.g. one preloaded from a
             :class:`~repro.rq.plan.PlanStore` by the parallel executor); a
             fresh one is created when ``None``.
+        fault_schedule: optional declarative fault schedule; when non-empty a
+            :class:`~repro.faults.injector.FaultInjector` is armed before any
+            transfer starts, so fault events interleave deterministically
+            with traffic.
     """
     sim = Simulator()
     topo = topology or FatTreeTopology(config.fattree_k)
     streams = RandomStreams(config.seed)
     fabric = network_config or config.network_config(protocol)
     network = Network(sim, topo, fabric, streams, trace=trace)
+    fault_injector: Optional[FaultInjector] = None
+    if fault_schedule is not None and len(fault_schedule) > 0:
+        fault_injector = FaultInjector(sim, network, fault_schedule)
+        fault_injector.start()
     registry = TransferRegistry()
     polyraptor_agents: dict[str, PolyraptorAgent] = {}
     tcp_agents: dict[str, TcpAgent] = {}
@@ -136,6 +151,7 @@ def build_environment(
         tcp_agents=tcp_agents,
         codec_context=codec_context,
         polyraptor_config=pcfg,
+        fault_injector=fault_injector,
     )
 
 
@@ -242,6 +258,7 @@ def run_transfers(
     polyraptor_config: Optional[PolyraptorConfig] = None,
     network_config: Optional[NetworkConfig] = None,
     codec_context: Optional[CodecContext] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> RunResult:
     """Run one workload under one protocol and return the collected results.
 
@@ -253,7 +270,8 @@ def run_transfers(
     env = build_environment(protocol, config, topology=topology, trace=trace,
                             polyraptor_config=polyraptor_config,
                             network_config=network_config,
-                            codec_context=codec_context)
+                            codec_context=codec_context,
+                            fault_schedule=fault_schedule)
     offer_transfers(env, protocol, transfers)
     wall_start = time.perf_counter()
     env.sim.run(until=config.max_sim_time_s)
@@ -269,6 +287,7 @@ def run_transfers(
         num_hosts=env.network.num_hosts,
         trace=trace,
         codec_stats=env.codec_context.stats_dict() if env.codec_context else None,
+        fault_stats=env.fault_injector.stats_dict() if env.fault_injector else None,
     )
 
 

@@ -1,0 +1,46 @@
+"""Fault injection and dynamic topology.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.schedule` -- declarative, seeded, picklable
+  :class:`FaultSchedule` value objects (link down/up, link degrade, random
+  loss, switch failure, host slowdown) plus the :func:`random_fault_schedule`
+  generator the resilience experiment parameterises by intensity;
+* :mod:`repro.faults.injector` -- the :class:`FaultInjector` simulation
+  process that executes a schedule against a live network, recomputing
+  routes on topology changes and counting every fault-caused packet drop.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    fabric_edges,
+    host_slowdown,
+    link_degrade,
+    link_down,
+    link_loss,
+    link_up,
+    random_fault_schedule,
+    straggler_schedule,
+    switch_down,
+    switch_up,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "fabric_edges",
+    "host_slowdown",
+    "link_degrade",
+    "link_down",
+    "link_loss",
+    "link_up",
+    "random_fault_schedule",
+    "straggler_schedule",
+    "switch_down",
+    "switch_up",
+]

@@ -1,0 +1,293 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultSchedule` is a value object: an immutable, time-sorted tuple
+of :class:`FaultEvent` records describing *what* goes wrong in the fabric and
+*when* -- links failing and recovering, links degrading to a fraction of
+their rate, elevated random loss, whole-switch failures, and host-NIC
+slowdowns (the declarative form of the straggler scenario whose detection
+side lives in :mod:`repro.core.straggler`).
+
+Schedules are plain frozen dataclasses, so they pickle and hash: the
+parallel executor ships them to worker processes inside
+:class:`~repro.experiments.parallel.RunJob` and the run is byte-identical
+for any ``--jobs N``.  Execution is the job of
+:class:`repro.faults.injector.FaultInjector`.
+
+:func:`random_fault_schedule` generates a schedule whose event count scales
+with a single ``intensity`` knob, drawing every placement and timing from a
+caller-supplied seeded RNG -- the resilience experiment's way of
+parameterising "how broken is the fabric".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Optional, Sequence
+
+from repro.network.topology import NodeRole, Topology
+
+
+class FaultKind(str, Enum):
+    """What a fault event does to its target."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    LINK_DEGRADE = "link_degrade"
+    LINK_LOSS = "link_loss"
+    SWITCH_DOWN = "switch_down"
+    SWITCH_UP = "switch_up"
+    HOST_SLOWDOWN = "host_slowdown"
+
+
+#: kinds that address a full-duplex link (two node names)
+LINK_KINDS = frozenset(
+    {FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.LINK_DEGRADE, FaultKind.LINK_LOSS}
+)
+#: kinds that change the topology and therefore force a route recompute
+TOPOLOGY_KINDS = frozenset(
+    {FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.SWITCH_DOWN, FaultKind.SWITCH_UP}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        time: absolute simulation time the event applies at.
+        kind: what happens.
+        target: ``(a, b)`` node names for link kinds, ``(name,)`` otherwise.
+        severity: kind-specific magnitude -- the surviving rate fraction for
+            ``LINK_DEGRADE`` / ``HOST_SLOWDOWN`` (1.0 restores nominal rate),
+            the loss probability for ``LINK_LOSS`` (0.0 clears it); unused
+            (1.0) for the binary kinds.
+    """
+
+    time: float
+    kind: FaultKind
+    target: tuple[str, ...]
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time cannot be negative, got {self.time}")
+        expected = 2 if self.kind in LINK_KINDS else 1
+        if len(self.target) != expected:
+            raise ValueError(
+                f"{self.kind.value} targets {expected} node(s), got {self.target!r}"
+            )
+        if self.kind in (FaultKind.LINK_DEGRADE, FaultKind.HOST_SLOWDOWN):
+            if not 0.0 < self.severity <= 1.0:
+                raise ValueError(
+                    f"{self.kind.value} severity must be a rate fraction in (0, 1], "
+                    f"got {self.severity}"
+                )
+        elif self.kind is FaultKind.LINK_LOSS:
+            if not 0.0 <= self.severity <= 1.0:
+                raise ValueError(
+                    f"link_loss severity must be a probability in [0, 1], got {self.severity}"
+                )
+
+
+# Constructors ----------------------------------------------------------------------
+
+
+def link_down(time: float, name_a: str, name_b: str) -> FaultEvent:
+    """Fail the full-duplex link between two nodes (in-flight packets are dropped)."""
+    return FaultEvent(time, FaultKind.LINK_DOWN, (name_a, name_b))
+
+
+def link_up(time: float, name_a: str, name_b: str) -> FaultEvent:
+    """Restore a previously failed link."""
+    return FaultEvent(time, FaultKind.LINK_UP, (name_a, name_b))
+
+
+def link_degrade(time: float, name_a: str, name_b: str, rate_fraction: float) -> FaultEvent:
+    """Degrade a link to ``rate_fraction`` of its nominal rate (1.0 restores)."""
+    return FaultEvent(time, FaultKind.LINK_DEGRADE, (name_a, name_b), rate_fraction)
+
+
+def link_loss(time: float, name_a: str, name_b: str, probability: float) -> FaultEvent:
+    """Give a link an elevated random loss probability (0.0 clears it)."""
+    return FaultEvent(time, FaultKind.LINK_LOSS, (name_a, name_b), probability)
+
+
+def switch_down(time: float, switch_name: str) -> FaultEvent:
+    """Fail a whole switch (it black-holes traffic until restored)."""
+    return FaultEvent(time, FaultKind.SWITCH_DOWN, (switch_name,))
+
+
+def switch_up(time: float, switch_name: str) -> FaultEvent:
+    """Restore a previously failed switch."""
+    return FaultEvent(time, FaultKind.SWITCH_UP, (switch_name,))
+
+
+def host_slowdown(time: float, host_name: str, rate_fraction: float) -> FaultEvent:
+    """Slow a host's NIC to ``rate_fraction`` of nominal (1.0 recovers it)."""
+    return FaultEvent(time, FaultKind.HOST_SLOWDOWN, (host_name,), rate_fraction)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered sequence of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Stable sort: same-time events keep their given order, so a schedule
+        # is canonical regardless of how its events were assembled.
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda event: event.time))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def last_time(self) -> float:
+        """Time of the final event (0.0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """A new schedule containing both event sequences (re-sorted by time)."""
+        return FaultSchedule(self.events + other.events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind (keys are :class:`FaultKind` values)."""
+        result = {kind.value: 0 for kind in FaultKind}
+        for event in self.events:
+            result[event.kind.value] += 1
+        return result
+
+
+# Builders --------------------------------------------------------------------------
+
+
+def fabric_edges(topology: Topology) -> list[tuple[str, str]]:
+    """Every switch-to-switch link, as sorted name pairs in deterministic order.
+
+    Host access links are excluded: failing a host's single uplink does not
+    test path redundancy, it just unplugs the host.
+    """
+    roles = topology.roles
+    return sorted(
+        (a, b) if a < b else (b, a)
+        for a, b in topology.graph.edges
+        if roles[a] is not NodeRole.HOST and roles[b] is not NodeRole.HOST
+    )
+
+
+def core_switches(topology: Topology) -> list[str]:
+    """Top-tier switches (core or spine), in deterministic order."""
+    return sorted(
+        name
+        for name, role in topology.roles.items()
+        if role in (NodeRole.CORE, NodeRole.SPINE)
+    )
+
+
+def random_fault_schedule(
+    topology: Topology,
+    rng: random.Random,
+    intensity: float,
+    start_time: float = 0.0,
+    duration: float = 1.0,
+    allow_switch_failure: bool = True,
+) -> FaultSchedule:
+    """A seeded random schedule whose damage scales with ``intensity``.
+
+    ``intensity`` is a fraction in [0, 1]: 0 produces an empty schedule; 1.0
+    transiently fails about a fifth of the fabric links and degrades / makes
+    lossy another third, plus one core-switch failure (values above 1 are
+    rejected -- they would let the link-down slice swallow the whole edge
+    sample and silently collapse the documented fault mix).  All faults are
+    transient: every down link
+    comes back up, every degraded link recovers and every lossy link is
+    cleared within the ``[start_time, start_time + duration]`` window, so a
+    run that outlives the window always ends on a healthy fabric.
+
+    Every placement, timing and magnitude is drawn from ``rng``, so two calls
+    with equally seeded RNGs produce identical schedules -- the determinism
+    the sharded resilience sweep relies on.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError(f"intensity must be a fraction in [0, 1], got {intensity}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if intensity == 0:
+        return FaultSchedule()
+
+    edges = fabric_edges(topology)
+    num_down = round(0.2 * intensity * len(edges))
+    num_degrade = round(0.15 * intensity * len(edges))
+    num_lossy = round(0.15 * intensity * len(edges))
+    if num_down + num_degrade + num_lossy == 0:
+        num_down = 1  # a nonzero intensity always injects something
+    chosen = rng.sample(edges, min(len(edges), num_down + num_degrade + num_lossy))
+
+    events: list[FaultEvent] = []
+
+    def window() -> tuple[float, float]:
+        begin = start_time + rng.uniform(0.05, 0.35) * duration
+        end = begin + rng.uniform(0.25, 0.5) * duration
+        return begin, end
+
+    for name_a, name_b in chosen[:num_down]:
+        begin, end = window()
+        events.append(link_down(begin, name_a, name_b))
+        events.append(link_up(end, name_a, name_b))
+    for name_a, name_b in chosen[num_down : num_down + num_degrade]:
+        begin, end = window()
+        fraction = rng.uniform(0.2, 0.5)
+        events.append(link_degrade(begin, name_a, name_b, fraction))
+        events.append(link_degrade(end, name_a, name_b, 1.0))
+    for name_a, name_b in chosen[num_down + num_degrade :]:
+        begin, end = window()
+        probability = min(0.5, intensity * rng.uniform(0.05, 0.25))
+        events.append(link_loss(begin, name_a, name_b, probability))
+        events.append(link_loss(end, name_a, name_b, 0.0))
+
+    cores = core_switches(topology)
+    if allow_switch_failure and intensity >= 0.5 and len(cores) >= 2:
+        victim = rng.choice(cores)
+        begin, end = window()
+        events.append(switch_down(begin, victim))
+        events.append(switch_up(end, victim))
+
+    return FaultSchedule(tuple(events))
+
+
+def straggler_schedule(
+    hosts: Sequence[str],
+    rng: random.Random,
+    count: int = 1,
+    rate_fraction: float = 0.25,
+    time: float = 0.0,
+    recover_after: Optional[float] = None,
+) -> FaultSchedule:
+    """Slow ``count`` randomly chosen hosts -- the declarative straggler scenario.
+
+    This unifies the ad-hoc "slow receiver" setups with the fault subsystem:
+    injection happens here (a seeded NIC slowdown), detection and detachment
+    stay in :class:`repro.core.straggler.StragglerPolicy`.  With
+    ``recover_after`` set, each straggler returns to full rate after that
+    many seconds.
+    """
+    if count < 1:
+        raise ValueError(f"count must be at least 1, got {count}")
+    if count > len(hosts):
+        raise ValueError(f"cannot pick {count} stragglers from {len(hosts)} hosts")
+    events: list[FaultEvent] = []
+    for host in rng.sample(list(hosts), count):
+        events.append(host_slowdown(time, host, rate_fraction))
+        if recover_after is not None:
+            events.append(host_slowdown(time + recover_after, host, 1.0))
+    return FaultSchedule(tuple(events))

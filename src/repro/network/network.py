@@ -5,6 +5,11 @@ simulator, computes routing tables, and manages multicast groups.  It is the
 object experiments interact with: they look up hosts, attach transport
 endpoints to them, install multicast groups, and read aggregate statistics
 (trims, drops, delivered bytes) at the end of a run.
+
+It is also the surface the fault-injection subsystem (:mod:`repro.faults`)
+drives: links can be failed/restored/degraded/made lossy, switches failed,
+host NICs slowed, and :meth:`Network.recompute_routes` rebuilds the unicast
+ECMP table and every installed multicast tree on the surviving topology.
 """
 
 from __future__ import annotations
@@ -78,6 +83,12 @@ class Network:
         self.switches: dict[str, Switch] = {}
         self._groups: dict[int, MulticastGroup] = {}
         self._next_node_id = 0
+        #: directed wires and ports keyed by (src name, dst name) -- the
+        #: registries the fault API addresses full-duplex links through
+        self._links: dict[tuple[str, str], Link] = {}
+        self._directed_ports: dict[tuple[str, str], Port] = {}
+        self._failed_edges: set[frozenset[str]] = set()
+        self._failed_switches: set[str] = set()
 
         self._build_nodes()
         self._build_links()
@@ -144,11 +155,13 @@ class Network:
             src.attach_nic(port)
         else:
             src.add_port(dst_name, port)
+        self._links[(src_name, dst_name)] = link
+        self._directed_ports[(src_name, dst_name)] = port
 
     def _install_routes(self) -> None:
         for switch_name, switch in self.switches.items():
             for host in self.hosts:
-                hops = self.routing_table.next_hops(switch_name, host.name)
+                hops = self.routing_table.next_hops_or_empty(switch_name, host.name)
                 if hops:
                     switch.set_next_hops(host.node_id, hops)
 
@@ -208,6 +221,127 @@ class Network:
         """Return an installed group (KeyError if unknown)."""
         return self._groups[group_id]
 
+    # Dynamic faults ----------------------------------------------------------------
+    #
+    # These are the hooks the FaultInjector drives.  State-changing calls do
+    # NOT recompute routes by themselves: the injector batches a topology
+    # change and then calls recompute_routes() once, so an event that fails a
+    # switch and three links pays for one rebuild.
+
+    def link_between(self, src_name: str, dst_name: str) -> Link:
+        """The directed wire from ``src_name`` to ``dst_name`` (KeyError if not wired)."""
+        return self._links[(src_name, dst_name)]
+
+    def set_link_state(self, name_a: str, name_b: str, up: bool) -> None:
+        """Fail or restore the full-duplex link between two nodes.
+
+        Both unidirectional wires die together (a cut cable, not a one-way
+        fault); packets in flight on either direction are dropped at their
+        delivery time and counted per wire.
+        """
+        if (name_a, name_b) not in self._links:
+            raise KeyError(f"no link between {name_a!r} and {name_b!r}")
+        for src, dst in ((name_a, name_b), (name_b, name_a)):
+            self._links[(src, dst)].set_state(up)
+        edge = frozenset((name_a, name_b))
+        if up:
+            self._failed_edges.discard(edge)
+        else:
+            self._failed_edges.add(edge)
+
+    def degrade_link(self, name_a: str, name_b: str, rate_fraction: float) -> None:
+        """Degrade both directions of a link to a fraction of nominal rate (1.0 restores)."""
+        if (name_a, name_b) not in self._directed_ports:
+            raise KeyError(f"no link between {name_a!r} and {name_b!r}")
+        for src, dst in ((name_a, name_b), (name_b, name_a)):
+            self._directed_ports[(src, dst)].set_rate_fraction(rate_fraction)
+
+    def set_link_loss(self, name_a: str, name_b: str, probability: float) -> None:
+        """Give both directions of a link an elevated random loss probability (0 clears).
+
+        Per-packet draws come from a named stream of the network's seeded
+        :class:`~repro.sim.randomness.RandomStreams`, so loss patterns are a
+        pure function of the experiment seed.
+        """
+        if (name_a, name_b) not in self._links:
+            raise KeyError(f"no link between {name_a!r} and {name_b!r}")
+        for src, dst in ((name_a, name_b), (name_b, name_a)):
+            rng = self.streams.stream(f"faults.loss.{src}->{dst}") if probability > 0 else None
+            self._links[(src, dst)].set_loss(probability, rng)
+
+    def set_switch_failed(self, switch_name: str, failed: bool) -> None:
+        """Fail or restore a whole switch (it black-holes traffic while down)."""
+        self.switches[switch_name].set_failed(failed)
+        if failed:
+            self._failed_switches.add(switch_name)
+        else:
+            self._failed_switches.discard(switch_name)
+
+    def slow_host(self, host_name: str, rate_fraction: float) -> None:
+        """Degrade a host's NIC to a fraction of nominal rate (1.0 restores).
+
+        This is the declarative way to create a straggler: the slowed host
+        pulls symbols late, and the detection side
+        (:class:`repro.core.straggler.StragglerPolicy`) detaches it from
+        multicast groups exactly as it would a naturally slow receiver.
+        """
+        self._host_by_name[host_name].nic.set_rate_fraction(rate_fraction)
+
+    @property
+    def failed_edges(self) -> frozenset[frozenset[str]]:
+        """Currently failed full-duplex links (as unordered name pairs)."""
+        return frozenset(self._failed_edges)
+
+    @property
+    def failed_switches(self) -> frozenset[str]:
+        """Currently failed switches."""
+        return frozenset(self._failed_switches)
+
+    def recompute_routes(self) -> int:
+        """Rebuild routing on the surviving topology; returns changed table entries.
+
+        The unicast ECMP table is rebuilt excluding failed links and switches
+        and re-installed switch by switch (entries for now-unreachable hosts
+        become empty sets the forwarding path counts as ``no_route`` drops).
+        Every installed multicast tree is then rebuilt on the new table; a
+        group whose receivers became unreachable keeps its old tree (packets
+        toward the dead part are dropped by the fabric) and is retried on the
+        next recompute.
+        """
+        self.routing_table.rebuild(self._failed_edges, self._failed_switches)
+        changed = 0
+        for switch_name, switch in self.switches.items():
+            for host in self.hosts:
+                new_hops = self.routing_table.next_hops_or_empty(switch_name, host.name)
+                if switch.next_hops_toward(host.node_id) != new_hops:
+                    switch.set_next_hops(host.node_id, new_hops)
+                    changed += 1
+        self._reinstall_multicast_groups()
+        return changed
+
+    def _reinstall_multicast_groups(self) -> None:
+        for group_id, group in list(self._groups.items()):
+            try:
+                rebuilt = build_multicast_tree(
+                    self.topology,
+                    self.routing_table,
+                    group_id,
+                    group.source_host,
+                    list(group.receiver_hosts),
+                )
+            except KeyError:
+                self.trace.record(
+                    self.sim.now, "network.group_rebuild_failed", group=group_id
+                )
+                continue
+            for node_name in {parent for parent, _ in group.tree_edges}:
+                if node_name in self.switches:
+                    self.switches[node_name].set_group_ports(group_id, ())
+            for node_name, children in group_table_entries(rebuilt).items():
+                if node_name in self.switches:
+                    self.switches[node_name].set_group_ports(group_id, children)
+            self._groups[group_id] = rebuilt
+
     # Aggregate statistics -------------------------------------------------------------
 
     @property
@@ -224,3 +358,18 @@ class Network:
     def total_forwarded_packets(self) -> int:
         """Packets forwarded by all switches."""
         return sum(switch.forwarded_packets for switch in self.switches.values())
+
+    @property
+    def total_dropped_link_down(self) -> int:
+        """Packets dropped because their wire was down (including in-flight ones)."""
+        return sum(link.dropped_link_down for link in self._links.values())
+
+    @property
+    def total_dropped_random_loss(self) -> int:
+        """Packets dropped by injected random loss across every wire."""
+        return sum(link.dropped_random_loss for link in self._links.values())
+
+    @property
+    def total_dropped_switch_down(self) -> int:
+        """Packets black-holed by failed switches."""
+        return sum(switch.dropped_switch_down for switch in self.switches.values())

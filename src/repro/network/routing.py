@@ -11,11 +11,18 @@ according to the configured :class:`RoutingMode`:
   multipath symbol spraying Polyraptor relies on.
 * ``SINGLE_PATH``   -- always the first next hop; useful for debugging and
   for constructing deterministic multicast trees.
+
+The table is no longer static: :meth:`RoutingTable.rebuild` recomputes every
+next-hop set on the *surviving* topology (the base graph minus failed links
+and failed switches), which is how the fault-injection subsystem
+(:mod:`repro.faults`) reroutes traffic after a topology change.  Rebuilding
+with no failures restores exactly the original table.
 """
 
 from __future__ import annotations
 
 from enum import Enum
+from typing import Iterable
 
 import networkx as nx
 
@@ -31,22 +38,69 @@ class RoutingMode(str, Enum):
 
 
 class RoutingTable:
-    """Per-switch equal-cost next hops toward every host."""
+    """Per-switch equal-cost next hops toward every host.
 
-    def __init__(self, topology: Topology) -> None:
+    ``failed_edges`` / ``failed_nodes`` describe the current topology damage:
+    routes are computed on the base graph with those links and switches
+    removed.  A host that is unreachable from a switch simply has no entry
+    (looked up through :meth:`next_hops_or_empty`, which returns an empty
+    tuple the forwarding path treats as "no route").
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        failed_edges: Iterable[tuple[str, str]] = (),
+        failed_nodes: Iterable[str] = (),
+    ) -> None:
         self._topology = topology
+        self._failed_edges = self._normalise_edges(failed_edges)
+        self._failed_nodes = frozenset(failed_nodes)
+        self._graph: nx.Graph = topology.graph
         #: next_hops[switch_name][host_name] -> tuple of neighbour names
         self._next_hops: dict[str, dict[str, tuple[str, ...]]] = {}
         self._build()
 
+    @staticmethod
+    def _normalise_edges(edges: Iterable[Iterable[str]]) -> frozenset[frozenset[str]]:
+        return frozenset(frozenset(edge) for edge in edges)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The effective (surviving) graph the current routes were computed on."""
+        return self._graph
+
+    def rebuild(
+        self,
+        failed_edges: Iterable[tuple[str, str]] = (),
+        failed_nodes: Iterable[str] = (),
+    ) -> None:
+        """Recompute every next-hop set on the surviving topology.
+
+        Rebuilding with the same failure sets is idempotent, and rebuilding
+        with empty sets restores the pre-failure table exactly (next-hop sets
+        are sorted tuples, so equality is well defined).
+        """
+        self._failed_edges = self._normalise_edges(failed_edges)
+        self._failed_nodes = frozenset(failed_nodes)
+        self._build()
+
     def _build(self) -> None:
-        graph = self._topology.graph
-        switch_names = set(self._topology.switches)
-        for switch in switch_names:
-            self._next_hops[switch] = {}
+        base = self._topology.graph
+        if self._failed_edges or self._failed_nodes:
+            graph = nx.restricted_view(
+                base,
+                tuple(sorted(self._failed_nodes)),
+                tuple(tuple(sorted(edge)) for edge in self._failed_edges),
+            )
+        else:
+            graph = base
+        self._graph = graph
+        self._next_hops = {switch: {} for switch in self._topology.switches}
+        live_switches = set(self._topology.switches) - set(self._failed_nodes)
         for host in self._topology.hosts:
             distances = nx.single_source_shortest_path_length(graph, host)
-            for switch in switch_names:
+            for switch in live_switches:
                 switch_distance = distances.get(switch)
                 if switch_distance is None:
                     continue
@@ -68,6 +122,15 @@ class RoutingTable:
                 f"no route from {switch_name!r} to {host_name!r}"
             ) from error
 
+    def next_hops_or_empty(self, switch_name: str, host_name: str) -> tuple[str, ...]:
+        """Like :meth:`next_hops` but returns ``()`` for unreachable pairs.
+
+        Used when (re)installing routes into switches: an empty set makes the
+        switch count the packet as ``dropped_no_route`` instead of raising at
+        table-build time.
+        """
+        return self._next_hops.get(switch_name, {}).get(host_name, ())
+
     def path(self, src_host: str, dst_host: str, tie_break: int = 0) -> list[str]:
         """Return one deterministic shortest path between two hosts.
 
@@ -78,9 +141,12 @@ class RoutingTable:
         """
         if src_host == dst_host:
             return [src_host]
-        graph = self._topology.graph
+        graph = self._graph
         path = [src_host]
-        current = next(iter(graph.neighbors(src_host)))  # host's single uplink
+        uplinks = list(graph.neighbors(src_host))
+        if not uplinks:
+            raise KeyError(f"host {src_host!r} has no live uplink")
+        current = uplinks[0]  # host's single uplink
         path.append(current)
         while current != dst_host:
             hops = self.next_hops(current, dst_host)

@@ -54,6 +54,9 @@ class Switch(Node):
         self._group_ports: dict[int, tuple[str, ...]] = {}
         self.forwarded_packets = 0
         self.dropped_no_route = 0
+        #: dynamic fault state -- a failed switch drops every arriving packet
+        self.failed = False
+        self.dropped_switch_down = 0
 
     # Wiring -----------------------------------------------------------------
 
@@ -74,6 +77,23 @@ class Switch(Node):
         """Install the equal-cost next-hop set toward a destination host."""
         self._next_hops[dst_host_id] = remote_names
 
+    def next_hops_toward(self, dst_host_id: int) -> tuple[str, ...]:
+        """The installed next-hop set toward a host (empty if none installed)."""
+        return self._next_hops.get(dst_host_id, ())
+
+    def unicast_next_hops(self) -> dict[int, tuple[str, ...]]:
+        """Snapshot of the whole unicast table (for reroute diffing and tests)."""
+        return dict(self._next_hops)
+
+    def set_failed(self, failed: bool) -> None:
+        """Fail (or restore) the whole switch.
+
+        A failed switch black-holes every packet that reaches it; the routing
+        layer is expected to recompute next hops around it (see
+        :meth:`repro.network.network.Network.recompute_routes`).
+        """
+        self.failed = failed
+
     def set_group_ports(self, group_id: int, remote_names: tuple[str, ...]) -> None:
         """Install the multicast egress set for a group."""
         self._group_ports[group_id] = tuple(remote_names)
@@ -86,6 +106,12 @@ class Switch(Node):
 
     def receive(self, packet: Packet) -> None:
         """Forward an arriving packet (unicast or multicast)."""
+        if self.failed:
+            self.dropped_switch_down += 1
+            self._trace.record(
+                self.sim.now, "switch.down_drop", switch=self.name, packet=packet.packet_id
+            )
+            return
         if packet.is_multicast:
             self._forward_multicast(packet)
         else:

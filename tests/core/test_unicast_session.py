@@ -53,11 +53,47 @@ class TestUnicastPush:
         bed.run(until=bed.sim.now + 0.01)
         assert session.symbols_sent == sent_at_completion
 
+    def test_healthy_session_never_retries_done(self):
+        """The sender's DONE-ACK arrives well before the first retry fires."""
+        bed = PolyraptorTestbed()
+        bed.agents["h0"].start_push_session(1, 100_000, [bed.host_id("h3")])
+        bed.run()
+        receiver = bed.agents["h3"].receiver_session(1)
+        assert receiver.completed
+        assert receiver.done_retries == 0
+        assert not receiver._done_timer.running
+
     def test_small_object_single_window(self):
         bed = PolyraptorTestbed()
         bed.agents["h0"].start_push_session(1, 5_000, [bed.host_id("h2")], label="tiny")
         bed.run()
         assert bed.registry.get(1).completed
+
+    def test_lost_done_is_retransmitted_until_sender_completes(self):
+        """DONE is unacknowledged: if the fabric eats it (e.g. a fault-downed
+        link), the receiver's capped-backoff retries must still complete the
+        sender, instead of it waiting pull-clocked forever."""
+        bed = PolyraptorTestbed()
+        rack = bed.topology.host_rack("h3")
+        # Kill only the receiver->rack direction: symbols still arrive, but
+        # everything the receiver sends (its DONE included) is dropped.  The
+        # object fits in the initial window, so no pulls are needed to decode.
+        reverse_wire = bed.network.link_between("h3", rack)
+        reverse_wire.set_state(False)
+        heal_at = 6 * bed.config.stall_timeout_s
+        bed.sim.schedule(heal_at, reverse_wire.set_state, True)
+
+        session = bed.agents["h0"].start_push_session(1, 5_000, [bed.host_id("h3")])
+        bed.run()
+
+        receiver = bed.agents["h3"].receiver_session(1)
+        assert receiver.completed
+        assert receiver.completion_time < heal_at  # decoded while DONE path was dead
+        assert receiver.done_retries >= 1          # at least one DONE was re-sent
+        assert session.completed                   # ... and a retry got through
+        assert bed.registry.get(1).completed
+        assert receiver.done_retries <= bed.config.done_retry_limit
+        assert not receiver._done_timer.running    # the sender's ack stopped the retries
 
     def test_duplicate_session_id_rejected(self):
         bed = PolyraptorTestbed()

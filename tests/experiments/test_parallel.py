@@ -18,9 +18,13 @@ from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.figure1a import run_figure1a
 from repro.experiments.parallel import (
     RunJob,
+    default_plan_cache_path,
     execute_jobs,
     plan_store_for_jobs,
+    resolve_jobs,
     run_job,
+    set_plan_cache_path,
+    set_progress_logger,
     sweep_block_sizes,
 )
 from repro.experiments.report import merge_codec_stats
@@ -196,6 +200,89 @@ class TestMergeCodecStats:
         assert merge_codec_stats([one, two])["backend"] == "planned+reference"
 
 
+class TestResolveJobs:
+    def test_ints_and_decimal_strings_pass_through(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("5") == 5
+
+    def test_auto_resolves_to_cpu_count(self):
+        import os
+
+        assert resolve_jobs("auto") == max(1, os.cpu_count() or 1)
+        assert resolve_jobs(" AUTO ") == resolve_jobs("auto")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+class TestProgressLogging:
+    def test_progress_fires_once_per_job_in_order(self):
+        jobs = _payload_jobs(seeds=(1, 2))
+        calls = []
+        execute_jobs(jobs, num_workers=1,
+                     progress=lambda i, n, job, run: calls.append((i, n, job.key)))
+        assert calls == [(0, 2, 1), (1, 2, 2)]
+
+    def test_default_progress_logger_is_consulted(self):
+        jobs = _payload_jobs(seeds=(1,))
+        calls = []
+        set_progress_logger(lambda i, n, job, run: calls.append(i))
+        try:
+            execute_jobs(jobs, num_workers=1)
+        finally:
+            set_progress_logger(None)
+        assert calls == [0]
+
+    def test_progress_fires_for_sharded_runs(self):
+        jobs = _payload_jobs(seeds=(1, 2, 3))
+        calls = []
+        execute_jobs(jobs, num_workers=2,
+                     progress=lambda i, n, job, run: calls.append(i))
+        assert calls == [0, 1, 2]
+
+
+class TestPersistentPlanCache:
+    def test_cache_file_created_and_reused(self, tmp_path):
+        jobs = _payload_jobs(seeds=(1,))
+        path = tmp_path / "plans.pkl"
+        set_plan_cache_path(path)
+        try:
+            first = execute_jobs(jobs)
+            assert path.exists()
+            written = path.stat().st_mtime_ns
+            second = execute_jobs(jobs)  # fully warm: loaded, not rewritten
+            assert path.stat().st_mtime_ns == written
+        finally:
+            set_plan_cache_path(None)
+        assert first[0].codec_stats == second[0].codec_stats
+        assert _transfer_metrics(first[0]) == _transfer_metrics(second[0])
+
+    def test_corrupt_cache_file_is_rebuilt(self, tmp_path):
+        jobs = _payload_jobs(seeds=(1,))
+        path = tmp_path / "plans.pkl"
+        path.write_bytes(b"not a pickle")
+        set_plan_cache_path(path)
+        try:
+            runs = execute_jobs(jobs)
+        finally:
+            set_plan_cache_path(None)
+        assert runs[0].completion_fraction == 1.0
+        from repro.rq.plan import PlanStore
+
+        assert len(PlanStore.load(path)) >= 1  # rebuilt and saved over the junk
+
+    def test_default_path_is_keyed_by_version(self):
+        from repro import __version__
+
+        path = default_plan_cache_path()
+        assert __version__ in path.name
+        assert path.parent.name == "repro"
+        assert path.parent.parent.name == ".cache"
+
+
 class TestCliJobs:
     def test_jobs_and_seeds_flags_parse(self):
         from repro.cli import build_parser
@@ -204,19 +291,48 @@ class TestCliJobs:
         assert args.jobs == 4
         assert args.seeds == 2
 
+    def test_jobs_auto_parses_to_cpu_count(self):
+        import os
+
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["figure1a", "--jobs", "auto"])
+        assert args.jobs == max(1, os.cpu_count() or 1)
+
+    def test_jobs_garbage_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1a", "--jobs", "lots"])
+
     def test_jobs_defaults_to_sequential(self):
         from repro.cli import build_parser
 
         for command in ("figure1a", "figure1b", "figure1c", "ablations",
-                        "hotspot", "mix", "all"):
+                        "hotspot", "mix", "resilience", "all"):
             args = build_parser().parse_args([command])
             assert args.jobs == 1
+            assert args.progress is False
+            assert args.plan_cache is None
 
-    def test_seeds_only_accepted_by_figure_sweeps(self):
+    def test_plan_cache_flag_with_and_without_path(self):
         from repro.cli import build_parser
 
-        for command in ("figure1a", "figure1b", "figure1c", "all"):
+        assert build_parser().parse_args(["mix", "--plan-cache"]).plan_cache == "auto"
+        args = build_parser().parse_args(["mix", "--plan-cache", "/tmp/p.pkl"])
+        assert args.plan_cache == "/tmp/p.pkl"
+
+    def test_seeds_only_accepted_by_multi_seed_sweeps(self):
+        from repro.cli import build_parser
+
+        for command in ("figure1a", "figure1b", "figure1c", "resilience", "all"):
             assert build_parser().parse_args([command]).seeds is None
         for command in ("ablations", "hotspot", "mix"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args([command, "--seeds", "2"])
+
+    def test_resilience_intensities_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["resilience", "--intensities", "0", "0.5", "1"])
+        assert args.intensities == [0.0, 0.5, 1.0]

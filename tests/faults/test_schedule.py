@@ -1,0 +1,183 @@
+"""Tests for declarative fault schedules and the seeded random generator."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    fabric_edges,
+    host_slowdown,
+    link_degrade,
+    link_down,
+    link_loss,
+    link_up,
+    random_fault_schedule,
+    straggler_schedule,
+    switch_down,
+)
+from repro.network.topology import FatTreeTopology, NodeRole
+
+
+class TestFaultEvent:
+    def test_link_constructors_target_two_nodes(self):
+        event = link_down(0.5, "agg0_0", "core0")
+        assert event.kind is FaultKind.LINK_DOWN
+        assert event.target == ("agg0_0", "core0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            link_up(-0.1, "a", "b")
+
+    def test_link_kinds_require_two_targets(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.LINK_DOWN, ("only-one",))
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.SWITCH_DOWN, ("a", "b"))
+
+    def test_degrade_severity_must_be_rate_fraction(self):
+        assert link_degrade(0.0, "a", "b", 0.5).severity == 0.5
+        with pytest.raises(ValueError):
+            link_degrade(0.0, "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            link_degrade(0.0, "a", "b", 1.5)
+
+    def test_loss_severity_must_be_probability(self):
+        assert link_loss(0.0, "a", "b", 0.0).severity == 0.0
+        with pytest.raises(ValueError):
+            link_loss(0.0, "a", "b", 1.01)
+
+    def test_host_slowdown_severity_bounds(self):
+        assert host_slowdown(0.0, "h0", 1.0).severity == 1.0
+        with pytest.raises(ValueError):
+            host_slowdown(0.0, "h0", 0.0)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(
+            (link_up(2.0, "a", "b"), link_down(1.0, "a", "b"), switch_down(0.5, "s"))
+        )
+        assert [event.time for event in schedule] == [0.5, 1.0, 2.0]
+        assert schedule.last_time == 2.0
+
+    def test_len_bool_and_empty(self):
+        assert len(FaultSchedule()) == 0
+        assert not FaultSchedule()
+        assert len(FaultSchedule((switch_down(0.0, "s"),))) == 1
+
+    def test_merged_combines_and_resorts(self):
+        one = FaultSchedule((link_down(1.0, "a", "b"),))
+        two = FaultSchedule((switch_down(0.5, "s"),))
+        merged = one.merged(two)
+        assert len(merged) == 2
+        assert merged.events[0].kind is FaultKind.SWITCH_DOWN
+
+    def test_counts_by_kind(self):
+        schedule = FaultSchedule(
+            (link_down(0.0, "a", "b"), link_up(1.0, "a", "b"), link_down(2.0, "c", "d"))
+        )
+        counts = schedule.counts()
+        assert counts["link_down"] == 2
+        assert counts["link_up"] == 1
+        assert counts["switch_down"] == 0
+
+    def test_schedule_pickles_unchanged(self):
+        schedule = FaultSchedule(
+            (link_degrade(0.1, "a", "b", 0.4), host_slowdown(0.2, "h0", 0.25))
+        )
+        assert pickle.loads(pickle.dumps(schedule)) == schedule
+
+
+class TestRandomFaultSchedule:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return FatTreeTopology(4)
+
+    def test_zero_intensity_is_empty(self, topology):
+        assert len(random_fault_schedule(topology, random.Random(1), 0.0)) == 0
+
+    def test_intensity_outside_unit_interval_rejected(self, topology):
+        with pytest.raises(ValueError):
+            random_fault_schedule(topology, random.Random(1), -0.5)
+        with pytest.raises(ValueError):
+            # > 1 would let the link-down slice swallow the whole edge
+            # sample and silently drop the degrade/loss events.
+            random_fault_schedule(topology, random.Random(1), 1.5)
+
+    def test_same_seed_same_schedule(self, topology):
+        one = random_fault_schedule(topology, random.Random(7), 0.8)
+        two = random_fault_schedule(topology, random.Random(7), 0.8)
+        assert one == two
+
+    def test_different_seeds_differ(self, topology):
+        one = random_fault_schedule(topology, random.Random(7), 0.8)
+        two = random_fault_schedule(topology, random.Random(8), 0.8)
+        assert one != two
+
+    def test_only_fabric_links_are_touched(self, topology):
+        schedule = random_fault_schedule(topology, random.Random(3), 1.0)
+        assert schedule
+        for event in schedule:
+            if event.kind in (FaultKind.SWITCH_DOWN, FaultKind.SWITCH_UP):
+                assert topology.roles[event.target[0]] is NodeRole.CORE
+            else:
+                for name in event.target:
+                    assert topology.roles[name] is not NodeRole.HOST
+
+    def test_every_fault_is_transient(self, topology):
+        """Each down/degrade/lossy event has a matching restore event."""
+        schedule = random_fault_schedule(topology, random.Random(5), 1.0)
+        counts = schedule.counts()
+        assert counts["link_down"] == counts["link_up"] > 0
+        assert counts["switch_down"] == counts["switch_up"]
+        degrades = [e for e in schedule if e.kind is FaultKind.LINK_DEGRADE]
+        assert sum(1 for e in degrades if e.severity < 1.0) == sum(
+            1 for e in degrades if e.severity == 1.0
+        )
+        losses = [e for e in schedule if e.kind is FaultKind.LINK_LOSS]
+        assert sum(1 for e in losses if e.severity > 0.0) == sum(
+            1 for e in losses if e.severity == 0.0
+        )
+
+    def test_small_nonzero_intensity_injects_something(self, topology):
+        assert len(random_fault_schedule(topology, random.Random(1), 0.01)) >= 2
+
+    def test_events_fall_in_window(self, topology):
+        schedule = random_fault_schedule(
+            topology, random.Random(2), 1.0, start_time=5.0, duration=2.0
+        )
+        for event in schedule:
+            assert 5.0 <= event.time <= 7.0
+
+    def test_fabric_edges_excludes_hosts(self, topology):
+        edges = fabric_edges(topology)
+        assert edges == sorted(edges)
+        for a, b in edges:
+            assert topology.roles[a] is not NodeRole.HOST
+            assert topology.roles[b] is not NodeRole.HOST
+        # k=4 fat-tree: 16 agg-edge links + 16 agg-core links.
+        assert len(edges) == 32
+
+
+class TestStragglerSchedule:
+    def test_slowdown_and_recovery_events(self):
+        schedule = straggler_schedule(
+            ["h0", "h1", "h2"], random.Random(1), count=2,
+            rate_fraction=0.25, time=1.0, recover_after=0.5,
+        )
+        slow = [e for e in schedule if e.severity < 1.0]
+        recover = [e for e in schedule if e.severity == 1.0]
+        assert len(slow) == len(recover) == 2
+        assert all(e.kind is FaultKind.HOST_SLOWDOWN for e in schedule)
+        assert all(e.time == 1.0 for e in slow)
+        assert all(e.time == 1.5 for e in recover)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            straggler_schedule(["h0"], random.Random(1), count=2)
+        with pytest.raises(ValueError):
+            straggler_schedule(["h0"], random.Random(1), count=0)

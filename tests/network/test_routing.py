@@ -57,6 +57,61 @@ class TestRoutingTable:
         assert len(path) == 3  # host - edge - host
 
 
+class TestRoutingRebuild:
+    def test_rebuild_without_failures_restores_original_table(self):
+        topology = FatTreeTopology(4)
+        table = RoutingTable(topology)
+        rack = topology.host_rack("h0")
+        original = {
+            (switch, host): table.next_hops_or_empty(switch, host)
+            for switch in topology.switches
+            for host in topology.hosts
+        }
+        table.rebuild(failed_edges=[(rack, "agg0_0")], failed_nodes=["core0"])
+        assert table.next_hops(rack, "h15") == ("agg0_1",)
+        table.rebuild()
+        restored = {
+            (switch, host): table.next_hops_or_empty(switch, host)
+            for switch in topology.switches
+            for host in topology.hosts
+        }
+        assert restored == original
+
+    def test_failed_edge_removes_hop(self):
+        topology = FatTreeTopology(4)
+        table = RoutingTable(topology)
+        rack = topology.host_rack("h0")
+        assert len(table.next_hops(rack, "h15")) == 2
+        table.rebuild(failed_edges=[(rack, "agg0_0")])
+        assert table.next_hops(rack, "h15") == ("agg0_1",)
+
+    def test_failed_node_has_no_entries_and_is_avoided(self):
+        topology = FatTreeTopology(4)
+        table = RoutingTable(topology, failed_nodes=["agg0_0"])
+        assert table.next_hops_or_empty("agg0_0", "h15") == ()
+        rack = topology.host_rack("h0")
+        assert table.next_hops(rack, "h15") == ("agg0_1",)
+
+    def test_unreachable_host_yields_empty_set_not_raise(self):
+        topology = FatTreeTopology(4)
+        rack = topology.host_rack("h0")
+        table = RoutingTable(topology, failed_edges=[(rack, "h0")])
+        assert table.next_hops_or_empty(rack, "h0") == ()
+
+    def test_path_avoids_failed_equipment(self):
+        topology = FatTreeTopology(4)
+        table = RoutingTable(topology, failed_nodes=["agg0_0"])
+        for tie_break in range(4):
+            assert "agg0_0" not in table.path("h0", "h15", tie_break=tie_break)
+
+    def test_path_raises_for_host_with_dead_uplink(self):
+        topology = FatTreeTopology(4)
+        rack = topology.host_rack("h0")
+        table = RoutingTable(topology, failed_edges=[(rack, "h0")])
+        with pytest.raises(KeyError):
+            table.path("h0", "h15")
+
+
 class TestNextHopSelection:
     def test_single_hop_shortcut(self):
         assert select_next_hop(RoutingMode.PACKET_SPRAY, ("a",), 1, 2, 3, 4) == "a"
