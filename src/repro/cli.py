@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
+from repro.core.config import PolyraptorConfig
 from repro.experiments.ablations import (
     initial_window_ablation,
     rq_overhead_ablation,
@@ -56,10 +58,21 @@ from repro.experiments.report import (
 )
 from repro.experiments.resilience import run_resilience
 from repro.experiments.workload_mix import format_workload_mix, run_workload_mix
+from repro.rq.kernels import available_kernels, registered_kernels
 from repro.utils.units import KILOBYTE
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    polyraptor = PolyraptorConfig(codec_kernel=getattr(args, "kernel", "auto"))
+    if getattr(args, "paper_scale", False):
+        # The k=10 250-host preset; size/load flags are superseded, while
+        # seed, time cap and codec knobs still apply.
+        return replace(
+            ExperimentConfig.paper_fabric(),
+            seed=args.seed,
+            max_sim_time_s=args.max_sim_time,
+            polyraptor=polyraptor,
+        )
     return ExperimentConfig(
         fattree_k=args.fattree_k,
         num_foreground_transfers=args.sessions,
@@ -67,6 +80,7 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         offered_load=args.load,
         seed=args.seed,
         max_sim_time_s=args.max_sim_time,
+        polyraptor=polyraptor,
     )
 
 
@@ -77,6 +91,27 @@ def _jobs_type(value: str) -> int:
         raise argparse.ArgumentTypeError(
             f"--jobs must be a positive integer or 'auto', got {value!r}"
         )
+
+
+def _kernel_type(value: str) -> str:
+    """Validate --kernel at parse time, including platform availability.
+
+    An explicitly requested kernel that cannot run here (e.g. ``numba``
+    without numba installed) must fail before any simulation starts -- in a
+    sharded sweep the TCP baselines would otherwise complete and the first
+    Polyraptor job die with a worker traceback.
+    """
+    if value == "auto" or value in available_kernels():
+        return value
+    if value in registered_kernels():
+        raise argparse.ArgumentTypeError(
+            f"kernel {value!r} is not available on this platform "
+            f"(available: {', '.join(['auto'] + available_kernels())})"
+        )
+    raise argparse.ArgumentTypeError(
+        f"unknown kernel {value!r} (choose from: "
+        f"{', '.join(['auto'] + registered_kernels())})"
+    )
 
 
 def _intensity_type(value: str) -> float:
@@ -114,6 +149,18 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="persist/reload factorised elimination plans across "
                              "invocations; without PATH, a per-package-version file "
                              "under ~/.cache/repro/ is used")
+    parser.add_argument("--kernel", default="auto", type=_kernel_type,
+                        metavar="{auto,%s}" % ",".join(registered_kernels()),
+                        help="GF(256) kernel for codec linear algebra; 'auto' "
+                             "honours REPRO_GF_KERNEL then picks the best "
+                             "available (numba when importable, else blocked). "
+                             "Workers of a sharded sweep inherit this choice. "
+                             "Results are byte-identical for every kernel.")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run on the paper's k=10, 250-host fabric preset "
+                             "(100 sessions, offered load 0.33; supersedes "
+                             "--fattree-k/--sessions/--object-kb/--load); combine "
+                             "with --seeds 5 for the paper's methodology")
 
 
 def _seeds(args: argparse.Namespace, default: int = 1) -> int:

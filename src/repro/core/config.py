@@ -60,6 +60,14 @@ class PolyraptorConfig:
             shared :class:`~repro.rq.backend.CodecContext` is supplied:
             ``"planned"`` (elimination-plan cache + batched replay, the
             default) or ``"reference"`` (full per-block elimination).
+        codec_kernel: which :mod:`repro.rq.kernels` GF(256) kernel executes
+            the codec's linear algebra: ``"auto"`` (the default; honours the
+            ``REPRO_GF_KERNEL`` environment variable, then picks the best
+            available -- ``numba`` when importable, else ``blocked``),
+            ``"numpy"``, ``"blocked"`` or ``"numba"``.  The choice travels
+            inside :class:`~repro.experiments.parallel.RunJob` configs, so
+            sharded workers inherit the parent's kernel.  Symbols are
+            byte-identical for every kernel; only wall-clock changes.
     """
 
     symbol_size_bytes: int = DEFAULT_SYMBOL_SIZE
@@ -76,14 +84,21 @@ class PolyraptorConfig:
     straggler_detection: bool = False
     straggler_lag_symbols: int = 12
     codec_backend: str = "planned"
+    codec_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         from repro.rq.backend import available_backends
+        from repro.rq.kernels import registered_kernels
 
         if self.codec_backend not in available_backends():
             raise ValueError(
                 f"unknown codec_backend {self.codec_backend!r}; "
                 f"available: {', '.join(available_backends())}"
+            )
+        if self.codec_kernel != "auto" and self.codec_kernel not in registered_kernels():
+            raise ValueError(
+                f"unknown codec_kernel {self.codec_kernel!r}; "
+                f"choose 'auto' or one of: {', '.join(registered_kernels())}"
             )
         check_positive("symbol_size_bytes", self.symbol_size_bytes)
         check_positive("header_bytes", self.header_bytes)

@@ -28,7 +28,15 @@ worker processes, with three guarantees:
    only method available on every platform and the default on macOS and
    Windows): everything a job needs crosses the process boundary by pickle
    -- configs, transfer specs and the plan store -- and the worker entry
-   points are module-level functions.
+   points are module-level functions.  The GF(256) kernel choice
+   (``PolyraptorConfig.codec_kernel``, the CLI's ``--kernel``) travels
+   inside each job's config, so workers always run the kernel the parent
+   selected; kernels themselves are stateless and never pickled.
+
+Plan stores are versioned by key schema
+(:data:`repro.rq.plan.PLAN_STORE_SCHEMA`): a persistent ``--plan-cache``
+file written by an older schema is rejected with a warning and rebuilt
+rather than silently shipping plans nothing will look up.
 
 Typical use (what the figure drivers do internally)::
 
@@ -45,6 +53,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Hashable, Iterable, Optional, Sequence, Union
@@ -59,7 +68,7 @@ from repro.network.topology import FatTreeTopology
 from repro.rq.backend import CodecContext, prewarm_encode_plans
 from repro.rq.block import partition_object
 from repro.rq.params import for_k
-from repro.rq.plan import PlanStore
+from repro.rq.plan import PlanStore, PlanStoreSchemaError
 
 #: Start method used for worker pools; ``spawn`` is the portable choice and
 #: proves that every job artefact survives pickling.
@@ -190,8 +199,16 @@ def plan_store_for_jobs(jobs: Sequence[RunJob]) -> Optional[PlanStore]:
     if path is not None and path.exists():
         try:
             store = PlanStore.load(path)
+        except PlanStoreSchemaError as error:
+            # A store written under another plan-key schema would either
+            # never be looked up (wasted shipping) or, worse, collide with
+            # current keys.  Reject it loudly and rebuild from scratch.
+            warnings.warn(
+                f"discarding plan cache {path}: {error}", RuntimeWarning, stacklevel=2
+            )
+            store = None
         except Exception:
-            store = None  # a corrupt/stale cache file is rebuilt, never fatal
+            store = None  # a corrupt cache file is rebuilt, never fatal
     known = len(store) if store is not None else 0
     store = prewarm_encode_plans(sizes, store=store)
     if path is not None and len(store) != known:
@@ -257,7 +274,12 @@ def run_job(job: RunJob, plan_store: Optional[PlanStore] = None) -> RunResult:
     codec_context: Optional[CodecContext] = None
     if job.protocol is Protocol.POLYRAPTOR:
         pcfg = job.polyraptor_config or job.config.polyraptor
-        codec_context = CodecContext(pcfg.codec_backend, preload=plan_store)
+        # The kernel choice rides the job's (picklable) config, so a worker
+        # resolves exactly what the parent chose -- "auto" resolves the same
+        # way on both sides of the process boundary.
+        codec_context = CodecContext(
+            pcfg.codec_backend, preload=plan_store, kernel=pcfg.codec_kernel
+        )
     return run_transfers(
         job.protocol,
         job.config,

@@ -79,37 +79,56 @@ def format_ablation(points: Sequence[AblationPoint], title: str) -> str:
     return f"{title}\n{table}"
 
 
+def _merge_cache_counters(caches: Sequence[Mapping], name: str) -> dict:
+    """Sum hit/miss/eviction counters and recompute the rate from the totals."""
+    hits = sum(cache.get("hits", 0) for cache in caches)
+    misses = sum(cache.get("misses", 0) for cache in caches)
+    lookups = hits + misses
+    return {
+        "name": name,
+        "hits": hits,
+        "misses": misses,
+        "evictions": sum(cache.get("evictions", 0) for cache in caches),
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
 def merge_codec_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
     """Aggregate per-run codec statistics across the shards of a sweep.
 
-    Block and plan-cache counters are summed and the hit rate recomputed
-    from the totals, so a merged dict has the same shape as a single run's
-    ``RunResult.codec_stats``; a ``shards`` field records how many runs
-    contributed.  ``cached_plans`` is the *maximum* across shards (each
-    shard holds its own cache, typically seeded with the same pre-warmed
-    plans, so summing would double-count).  Runs without codec work
-    (``None``, e.g. TCP baselines) are skipped; returns ``None`` when no
-    run carried stats.
+    Block and plan-cache counters (overall and decode-side) are summed and
+    hit rates recomputed from the totals, so a merged dict has the same
+    shape as a single run's ``RunResult.codec_stats``; a ``shards`` field
+    records how many runs contributed.  ``backend`` and ``kernel`` join the
+    distinct names seen with ``+`` (shards normally agree).
+    ``cached_plans`` is the *maximum* across shards (each shard holds its
+    own cache, typically seeded with the same pre-warmed plans, so summing
+    would double-count).  Runs without codec work (``None``, e.g. TCP
+    baselines) are skipped; returns ``None`` when no run carried stats.
     """
     present = [stats for stats in stats_list if stats]
     if not present:
         return None
-    caches = [stats.get("plan_cache", {}) for stats in present]
-    hits = sum(cache.get("hits", 0) for cache in caches)
-    misses = sum(cache.get("misses", 0) for cache in caches)
-    lookups = hits + misses
     backends = sorted({str(stats.get("backend", "?")) for stats in present})
+    kernels = sorted({str(stats.get("kernel", "?")) for stats in present})
     return {
         "backend": "+".join(backends),
+        "kernel": "+".join(kernels),
+        "canonical_decode_plans": all(
+            stats.get("canonical_decode_plans", True) for stats in present
+        ),
         "blocks_encoded": sum(stats.get("blocks_encoded", 0) for stats in present),
         "blocks_decoded": sum(stats.get("blocks_decoded", 0) for stats in present),
-        "plan_cache": {
-            "name": "rq_plan_cache",
-            "hits": hits,
-            "misses": misses,
-            "evictions": sum(cache.get("evictions", 0) for cache in caches),
-            "hit_rate": hits / lookups if lookups else 0.0,
-        },
+        "plan_cache": _merge_cache_counters(
+            [stats.get("plan_cache", {}) for stats in present], "rq_plan_cache"
+        ),
+        "decode_plan_cache": _merge_cache_counters(
+            [stats.get("decode_plan_cache", {}) for stats in present],
+            "rq_decode_plan_cache",
+        ),
+        "decode_plan_retries": sum(
+            stats.get("decode_plan_retries", 0) for stats in present
+        ),
         "cached_plans": max(stats.get("cached_plans", 0) for stats in present),
         "shards": len(present),
     }
@@ -119,31 +138,48 @@ def format_codec_stats(
     stats_by_label: Mapping[str, Optional[dict]],
     title: str = "RQ codec backend / plan cache",
 ) -> str:
-    """Render per-run codec statistics (backend, plan-cache hits/misses).
+    """Render per-run codec statistics (backend, kernel, plan-cache counters).
 
-    Runs without codec work (TCP baselines) render as ``-`` rows, so the
-    table always lists every series of an experiment.
+    The ``dec hits`` / ``dec rate`` columns report the decode-side subset of
+    the plan cache -- the counters canonical decode-plan keys are designed
+    to improve under loss.  Runs without codec work (TCP baselines) render
+    as ``-`` rows, so the table always lists every series of an experiment.
     """
     rows = []
     for label in sorted(stats_by_label):
         stats = stats_by_label[label]
         if not stats:
-            rows.append([label, "-", "-", "-", "-", "-", "-"])
+            rows.append([label] + ["-"] * 9)
             continue
         cache = stats.get("plan_cache", {})
+        decode_cache = stats.get("decode_plan_cache", {})
         rows.append(
             [
                 label,
                 str(stats.get("backend", "?")),
+                str(stats.get("kernel", "?")),
                 str(stats.get("blocks_encoded", 0)),
                 str(stats.get("blocks_decoded", 0)),
                 str(cache.get("hits", 0)),
                 str(cache.get("misses", 0)),
                 f"{cache.get('hit_rate', 0.0):.3f}",
+                str(decode_cache.get("hits", 0)),
+                f"{decode_cache.get('hit_rate', 0.0):.3f}",
             ]
         )
     table = _format_table(
-        ["series", "backend", "blocks enc", "blocks dec", "plan hits", "plan misses", "hit rate"],
+        [
+            "series",
+            "backend",
+            "kernel",
+            "blocks enc",
+            "blocks dec",
+            "plan hits",
+            "plan misses",
+            "hit rate",
+            "dec hits",
+            "dec rate",
+        ],
         rows,
     )
     return f"{title}\n{table}"

@@ -134,7 +134,7 @@ def build_environment(
         # agent draws elimination plans from the same cache, so the cost of
         # factorising a K' is paid once per run rather than once per block.
         if codec_context is None:
-            codec_context = CodecContext(pcfg.codec_backend)
+            codec_context = CodecContext(pcfg.codec_backend, kernel=pcfg.codec_kernel)
         for host in network.hosts:
             polyraptor_agents[host.name] = PolyraptorAgent(
                 sim, host, pcfg, registry, trace, codec_context=codec_context

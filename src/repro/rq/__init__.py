@@ -50,8 +50,28 @@ from repro.rq.backend import (
 from repro.rq.block import EncodedSymbol, ObjectDecoder, ObjectEncoder, ObjectTransmissionInfo
 from repro.rq.decoder import BlockDecoder, DecodeFailure, DecodeResult
 from repro.rq.encoder import BlockEncoder
+from repro.rq.kernels import (
+    KERNEL_ENV_VAR,
+    GFKernel,
+    available_kernels,
+    best_kernel_name,
+    default_kernel_name,
+    get_kernel,
+    register_kernel,
+    registered_kernels,
+)
 from repro.rq.params import CodeParameters
-from repro.rq.plan import EliminationPlan, PlanCache, PlanStore, build_plan
+from repro.rq.plan import (
+    PLAN_STORE_SCHEMA,
+    EliminationPlan,
+    PlanCache,
+    PlanStore,
+    PlanStoreSchemaError,
+    build_plan,
+    canonical_decode_candidates,
+    canonical_decode_key,
+    missing_source_pattern,
+)
 
 __all__ = [
     "CodeParameters",
@@ -76,7 +96,20 @@ __all__ = [
     "EliminationPlan",
     "PlanCache",
     "PlanStore",
+    "PlanStoreSchemaError",
+    "PLAN_STORE_SCHEMA",
     "build_plan",
+    "canonical_decode_candidates",
+    "canonical_decode_key",
+    "missing_source_pattern",
     "prewarm_encode_plans",
     "prewarm_decode_plans",
+    "GFKernel",
+    "KERNEL_ENV_VAR",
+    "available_kernels",
+    "best_kernel_name",
+    "default_kernel_name",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
 ]

@@ -14,14 +14,21 @@ Two backends ship:
 * ``reference`` -- rebuilds the matrix and re-runs full elimination for
   every block, byte-for-byte preserving the original behaviour (and cost);
 * ``planned``   -- the default: looks up an :class:`~repro.rq.plan.EliminationPlan`
-  in the context's shared plan cache (keyed by K' on the encode side, by
-  K' plus the received-ESI set on the decode side) and replays it over the
-  block's symbol plane as one batched GF(256) matrix product.
+  in the context's shared plan cache (keyed by K' on the encode side, and
+  **canonically** by the missing-source pattern plus the repair rows
+  consumed on the decode side -- see
+  :func:`~repro.rq.plan.canonical_decode_candidates`) and replays it over
+  the block's symbol plane as one batched GF(256) matrix product.
 
-A :class:`CodecContext` bundles one backend with one plan cache and its
-hit/miss counters.  All sessions of a simulation share a single context, so
-the first block of the first transfer pays for elimination and every later
-block with the same parameters rides the cache.
+A :class:`CodecContext` bundles one backend with one
+:mod:`~repro.rq.kernels` GF(256) kernel, one plan cache and its hit/miss
+counters (overall plus decode-side, so canonical-key effectiveness is
+observable in experiment reports).  All sessions of a simulation share a
+single context, so the first block of the first transfer pays for
+elimination and every later block with the same parameters rides the cache;
+under loss, every block that lost the same source pattern rides the same
+decode plan no matter how many surplus repair symbols it happened to
+receive.
 
 Because plans are immutable they can also cross process boundaries: a
 context can export its cache as a picklable :class:`~repro.rq.plan.PlanStore`
@@ -35,10 +42,11 @@ worker process starts with a warm cache.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Iterable, Optional, Sequence, Union
+from typing import ClassVar, Hashable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.rq.kernels import GFKernel, get_kernel
 from repro.rq.matrix import build_constraint_matrix
 from repro.rq.params import CodeParameters, for_k
 from repro.rq.plan import (
@@ -46,10 +54,11 @@ from repro.rq.plan import (
     PlanCache,
     PlanStore,
     build_plan,
+    canonical_decode_candidates,
     constraint_matrix,
     received_matrix,
 )
-from repro.rq.solver import solve
+from repro.rq.solver import SingularMatrixError, solve
 from repro.sim.stats import CacheStats
 
 #: Name of the backend used when none is configured explicitly.
@@ -120,7 +129,7 @@ class ReferenceBackend(CodecBackend):
         constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
         rhs = np.zeros((params.num_intermediate_symbols, source.shape[1]), dtype=np.uint8)
         rhs[constraints:] = source
-        return solve(matrix, rhs)
+        return solve(matrix, rhs, kernel=context.kernel)
 
     def solve_received(
         self,
@@ -133,7 +142,9 @@ class ReferenceBackend(CodecBackend):
         constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
         rhs = np.zeros((constraints + len(esis), received.shape[1]), dtype=np.uint8)
         rhs[constraints:] = received
-        return solve(matrix, rhs, num_unknowns=params.num_intermediate_symbols)
+        return solve(
+            matrix, rhs, num_unknowns=params.num_intermediate_symbols, kernel=context.kernel
+        )
 
 
 @register_backend
@@ -147,10 +158,12 @@ class PlannedBackend(CodecBackend):
     ) -> np.ndarray:
         plan = context.plan_for(
             ("encode", params),
-            lambda: build_plan(constraint_matrix(params), record_steps=False),
+            lambda: build_plan(
+                constraint_matrix(params), record_steps=False, kernel=context.kernel
+            ),
         )
         constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
-        return plan.apply_from_row(source, constraints)
+        return plan.apply_from_row(source, constraints, kernel=context.kernel)
 
     def solve_received(
         self,
@@ -159,20 +172,79 @@ class PlannedBackend(CodecBackend):
         esis: tuple[int, ...],
         received: np.ndarray,
     ) -> np.ndarray:
+        if context.canonical_decode_plans:
+            return self._solve_received_canonical(context, params, esis, received)
         plan = context.plan_for(
             ("decode", params, esis),
             lambda: build_plan(
                 received_matrix(params, esis),
                 num_unknowns=params.num_intermediate_symbols,
                 record_steps=False,
+                kernel=context.kernel,
             ),
+            decode=True,
         )
         constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
-        return plan.apply_from_row(received, constraints)
+        return plan.apply_from_row(received, constraints, kernel=context.kernel)
+
+    def _solve_received_canonical(
+        self,
+        context: "CodecContext",
+        params: CodeParameters,
+        esis: tuple[int, ...],
+        received: np.ndarray,
+    ) -> np.ndarray:
+        """Decode through canonical plan keys, widening on singular systems.
+
+        Candidates run from the minimal system (surviving sources plus
+        exactly as many repair rows as sources went missing -- the key most
+        likely to be shared across blocks) outward, adding one received
+        repair row per step.  A candidate whose matrix is singular is
+        remembered in the context so later blocks with the same pattern skip
+        straight to the first workable width instead of re-running a doomed
+        elimination.
+        """
+        constraints = params.num_ldpc_symbols + params.num_hdpc_symbols
+        position = {esi: index for index, esi in enumerate(esis)}
+        last_error: Optional[SingularMatrixError] = None
+        for key, used in canonical_decode_candidates(params, esis):
+            if key in context.singular_decode_keys:
+                context.decode_plan_retries += 1
+                last_error = SingularMatrixError(
+                    f"known-singular decode system for {len(used)} received symbols"
+                )
+                continue
+            try:
+                plan = context.plan_for(
+                    key,
+                    lambda used=used: build_plan(
+                        received_matrix(params, used),
+                        num_unknowns=params.num_intermediate_symbols,
+                        record_steps=False,
+                        kernel=context.kernel,
+                    ),
+                    decode=True,
+                )
+            except SingularMatrixError as error:
+                context.singular_decode_keys.add(key)
+                context.decode_plan_retries += 1
+                last_error = error
+                continue
+            if used == tuple(esis):
+                rhs_tail = received
+            else:
+                rows = np.fromiter(
+                    (position[esi] for esi in used), dtype=np.intp, count=len(used)
+                )
+                rhs_tail = received[rows]
+            return plan.apply_from_row(rhs_tail, constraints, kernel=context.kernel)
+        raise last_error if last_error is not None else SingularMatrixError(
+            "no received symbols to decode from"
+        )
 
 
 class CodecContext:
-    """One backend + one shared plan cache + its counters.
+    """One backend + one GF(256) kernel + one shared plan cache + counters.
 
     Create one per simulation (the experiment runner does) and hand it to
     every agent so all sessions amortise plan construction; the module-level
@@ -185,6 +257,14 @@ class CodecContext:
         preload: optional :class:`~repro.rq.plan.PlanStore` whose plans seed
             the cache before any block is processed (used by sharded runs so
             workers start warm; preloading counts neither hits nor misses).
+        kernel: a :mod:`repro.rq.kernels` kernel name, ``"auto"``/``None``
+            (honour ``REPRO_GF_KERNEL``, then pick the best available), or a
+            pre-built :class:`~repro.rq.kernels.GFKernel`.  Every kernel
+            produces byte-identical symbols; only wall-clock changes.
+        canonical_decode_plans: key decode plans by the canonical
+            missing-source pattern (default) instead of the exact
+            received-ESI set.  The legacy exact keying is kept selectable so
+            tests and reports can quantify the canonicalisation win.
     """
 
     def __init__(
@@ -192,9 +272,19 @@ class CodecContext:
         backend: Union[str, CodecBackend] = DEFAULT_BACKEND,
         max_cached_plans: int = 256,
         preload: Optional[PlanStore] = None,
+        kernel: Union[str, GFKernel, None] = None,
+        canonical_decode_plans: bool = True,
     ) -> None:
         self.backend = create_backend(backend) if isinstance(backend, str) else backend
+        self.kernel = get_kernel(kernel)
+        self.canonical_decode_plans = canonical_decode_plans
         self.stats = CacheStats(name="rq_plan_cache")
+        self.decode_stats = CacheStats(name="rq_decode_plan_cache")
+        #: Canonical decode keys whose matrix turned out singular; remembered
+        #: so repeated loss patterns skip doomed eliminations.
+        self.singular_decode_keys: set[Hashable] = set()
+        #: Canonical decode candidates abandoned as singular (fresh or memoised).
+        self.decode_plan_retries = 0
         self._plans = PlanCache(max_entries=max_cached_plans)
         self.blocks_encoded = 0
         self.blocks_decoded = 0
@@ -207,17 +297,31 @@ class CodecContext:
         return self.backend.name
 
     @property
+    def kernel_name(self) -> str:
+        """Name of the active GF(256) kernel."""
+        return self.kernel.name
+
+    @property
     def cached_plans(self) -> int:
         """Number of plans currently held by the cache."""
         return len(self._plans)
 
-    def plan_for(self, key, builder) -> EliminationPlan:
-        """Fetch a plan from the shared cache, counting hits and misses."""
+    def plan_for(self, key, builder, decode: bool = False) -> EliminationPlan:
+        """Fetch a plan from the shared cache, counting hits and misses.
+
+        ``decode=True`` additionally books the lookup on the decode-side
+        counters (``decode_stats``), which is what experiment reports use to
+        show how well canonical keys hold up under loss.
+        """
         plan, hit = self._plans.get_or_build(key, builder)
         if hit:
             self.stats.record_hit()
+            if decode:
+                self.decode_stats.record_hit()
         else:
             self.stats.record_miss()
+            if decode:
+                self.decode_stats.record_miss()
         self.stats.evictions = self._plans.evictions
         return plan
 
@@ -245,9 +349,13 @@ class CodecContext:
         """A JSON-friendly snapshot for experiment reports."""
         return {
             "backend": self.backend_name,
+            "kernel": self.kernel_name,
+            "canonical_decode_plans": self.canonical_decode_plans,
             "blocks_encoded": self.blocks_encoded,
             "blocks_decoded": self.blocks_decoded,
             "plan_cache": self.stats.as_dict(),
+            "decode_plan_cache": self.decode_stats.as_dict(),
+            "decode_plan_retries": self.decode_plan_retries,
             "cached_plans": self.cached_plans,
         }
 
@@ -296,27 +404,61 @@ def prewarm_encode_plans(
 
 
 def prewarm_decode_plans(
-    k: int, esi_sets: Iterable[Sequence[int]], store: Optional[PlanStore] = None
+    k: int,
+    esi_sets: Iterable[Sequence[int]],
+    store: Optional[PlanStore] = None,
+    canonical: bool = True,
 ) -> PlanStore:
     """Build decode-side plans for explicit received-ESI sets of a K-symbol block.
 
-    Decode plans are keyed by the *exact* set of received ESIs, which depends
-    on which packets the network lost -- the parent cannot enumerate them in
-    general.  This helper exists for callers that do know their loss patterns
-    (tests, replay tooling); the parallel executor pre-warms only encode
-    plans and lets decode plans accumulate per worker.
+    Decode plans depend on which packets the network lost -- the parent
+    cannot enumerate them in general.  This helper exists for callers that do
+    know their loss patterns (tests, replay tooling); the parallel executor
+    pre-warms only encode plans and lets decode plans accumulate per worker.
+
+    With ``canonical=True`` (the default, matching
+    ``CodecContext(canonical_decode_plans=True)``) each ESI set is reduced to
+    the same candidate ladder :class:`PlannedBackend` walks -- minimal system
+    first, widening past singular matrices -- so the stored key is exactly
+    the one a live decode of that pattern will look up.  One canonical plan
+    therefore pre-warms *every* ESI set sharing the missing-source pattern,
+    not just the literal set given.
+
+    ``canonical=False`` writes the exact-ESI keys that only a
+    ``CodecContext(canonical_decode_plans=False)`` context looks up -- pair
+    the store with such a context.  The two key shapes cannot collide (a
+    3- vs 4-tuple), so mixing them in one store is safe, but exact keys
+    preloaded into a *canonical* context are inert: never matched, only
+    occupying LRU capacity.  The :data:`~repro.rq.plan.PLAN_STORE_SCHEMA`
+    stamp guards the *store format* across releases, not which of the two
+    intra-format keyings a given plan was stored under.
     """
     store = store if store is not None else PlanStore()
     params = for_k(k)
     for esis in esi_sets:
-        key = ("decode", params, tuple(esis))
-        if key not in store:
-            store.add(
-                key,
-                build_plan(
-                    received_matrix(params, tuple(esis)),
+        if not canonical:
+            key = ("decode", params, tuple(esis))
+            if key not in store:
+                store.add(
+                    key,
+                    build_plan(
+                        received_matrix(params, tuple(esis)),
+                        num_unknowns=params.num_intermediate_symbols,
+                        record_steps=False,
+                    ),
+                )
+            continue
+        for key, used in canonical_decode_candidates(params, esis):
+            if key in store:
+                break
+            try:
+                plan = build_plan(
+                    received_matrix(params, used),
                     num_unknowns=params.num_intermediate_symbols,
                     record_steps=False,
-                ),
-            )
+                )
+            except SingularMatrixError:
+                continue
+            store.add(key, plan)
+            break
     return store

@@ -15,8 +15,20 @@ K') or on the parameters plus the set of received ESIs (decode side).  An
 
 Replaying a plan over the (n x symbol_size) symbol plane of a block is one
 batched GF(256) matrix product -- no pivot searches, no matrix-side row
-operations, no per-step allocations.  Plans are immutable and safe to share
-across sessions, simulations and (later) processes.
+operations, no per-step allocations.  The byte work of that product (and of
+elimination itself) executes on a pluggable :mod:`repro.rq.kernels` kernel;
+every kernel computes identical bytes, so plans and kernels compose freely.
+Plans are immutable and safe to share across sessions, simulations and
+processes.
+
+Decode-side plans are keyed **canonically** by the *missing-source pattern*
+plus the repair rows actually consumed (:func:`canonical_decode_candidates`)
+rather than by the raw received-ESI set: a receiver that lost source
+symbols {2, 5} decodes with the same elimination plan whether it received
+two or five surplus repair symbols, which is what keeps the decode plan
+cache hot under heavy loss.  The persistent :class:`PlanStore` records a
+schema number (:data:`PLAN_STORE_SCHEMA`) so stores written under the old
+exact-ESI keying are rejected cleanly instead of poisoning the cache.
 """
 
 from __future__ import annotations
@@ -26,7 +38,16 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Hashable, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Hashable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -34,6 +55,20 @@ from repro.rq.gf256 import gf_matmul, gf_scale_rows, gf_scale_vector
 from repro.rq.matrix import build_constraint_matrix, hdpc_rows, ldpc_rows, lt_row
 from repro.rq.params import CodeParameters
 from repro.rq.solver import solve
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rq.kernels import GFKernel
+
+#: Version of the plan-key schema a :class:`PlanStore` is written under.
+#: Bumped whenever the key convention changes (v1: decode plans keyed by the
+#: exact received-ESI set; v2: canonical missing-source-pattern keys), so a
+#: persisted store from another schema is rejected instead of silently
+#: serving plans nothing will ever look up -- or worse, colliding.
+PLAN_STORE_SCHEMA = 2
+
+
+class PlanStoreSchemaError(ValueError):
+    """A persisted :class:`PlanStore` was written under a different key schema."""
 
 
 @dataclass(frozen=True)
@@ -87,13 +122,21 @@ class EliminationPlan:
     operator: np.ndarray
     steps: Optional[tuple[PlanStep, ...]]
 
-    def apply(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve for the unknowns given a full (num_rows x T) right-hand side."""
+    def apply(self, rhs: np.ndarray, kernel: Optional["GFKernel"] = None) -> np.ndarray:
+        """Solve for the unknowns given a full (num_rows x T) right-hand side.
+
+        ``kernel`` selects the :mod:`repro.rq.kernels` implementation of the
+        batched product; ``None`` uses the numpy ground truth.  The result is
+        byte-identical for every kernel.
+        """
         if rhs.shape[0] != self.num_rows:
             raise ValueError(f"plan expects {self.num_rows} rhs rows, got {rhs.shape[0]}")
-        return gf_matmul(self.operator, rhs)
+        matmul = gf_matmul if kernel is None else kernel.matmul
+        return matmul(self.operator, rhs)
 
-    def apply_from_row(self, rhs_tail: np.ndarray, first_row: int) -> np.ndarray:
+    def apply_from_row(
+        self, rhs_tail: np.ndarray, first_row: int, kernel: Optional["GFKernel"] = None
+    ) -> np.ndarray:
         """Solve when rhs rows ``0 .. first_row-1`` are all-zero.
 
         Both codec systems have this shape: the S + H constraint rows carry a
@@ -104,7 +147,8 @@ class EliminationPlan:
             raise ValueError(
                 f"plan expects {self.num_rows - first_row} tail rows, got {rhs_tail.shape[0]}"
             )
-        return gf_matmul(self.operator[:, first_row:], rhs_tail)
+        matmul = gf_matmul if kernel is None else kernel.matmul
+        return matmul(self.operator[:, first_row:], rhs_tail)
 
     def replay(self, rhs: np.ndarray) -> np.ndarray:
         """Step-by-step replay of the recorded row ops (reference/testing path).
@@ -133,11 +177,15 @@ def build_plan(
     matrix: np.ndarray,
     num_unknowns: Optional[int] = None,
     record_steps: bool = True,
+    kernel: Optional["GFKernel"] = None,
 ) -> EliminationPlan:
     """Eliminate ``matrix`` once, recording the ops and the fused operator.
 
     ``record_steps=False`` keeps only the fused operator (what replay needs);
     the op tape is O(L^2) numpy data, so cached production plans skip it.
+    ``kernel`` runs the elimination's row operations on a
+    :mod:`repro.rq.kernels` kernel; the resulting operator is byte-identical
+    for every kernel.
 
     Raises :class:`repro.rq.solver.SingularMatrixError` when the matrix does
     not have full column rank, exactly like a direct solve would.
@@ -145,7 +193,7 @@ def build_plan(
     recorder = _StepRecorder() if record_steps else None
     rows = matrix.shape[0]
     identity = np.eye(rows, dtype=np.uint8)
-    operator = solve(matrix, identity, num_unknowns, recorder=recorder)
+    operator = solve(matrix, identity, num_unknowns, recorder=recorder, kernel=kernel)
     operator.setflags(write=False)
     return EliminationPlan(
         num_rows=rows,
@@ -193,6 +241,60 @@ def received_matrix(params: CodeParameters, esis: Sequence[int]) -> np.ndarray:
     return matrix
 
 
+# Canonical decode-plan keys ---------------------------------------------------------
+#
+# The decode-side matrix is fully determined by which rows go into it, so the
+# *plan key* only needs to name those rows -- and the rows worth using are a
+# canonical function of the loss pattern, not of everything that happened to
+# arrive.  A receiver that lost source symbols {2, 5} needs exactly the
+# surviving sources plus (at least) two repair rows; any surplus repair
+# symbols beyond those add rows that change the raw ESI set -- and therefore
+# fragmented the old exact-ESI cache key -- without changing the system that
+# actually has to be solved.
+
+
+def missing_source_pattern(params: CodeParameters, esis: Sequence[int]) -> tuple[int, ...]:
+    """The canonical loss fingerprint: source ESIs *not* in ``esis``, ascending."""
+    received = {esi for esi in esis if esi < params.num_source_symbols}
+    return tuple(esi for esi in range(params.num_source_symbols) if esi not in received)
+
+
+def canonical_decode_candidates(
+    params: CodeParameters, esis: Sequence[int]
+) -> Iterator[tuple[tuple, tuple[int, ...]]]:
+    """Yield ``(plan_key, used_esis)`` candidates for one received-ESI set.
+
+    Candidates are ordered from the minimal system outward: the first uses
+    the surviving source rows plus exactly ``len(missing)`` repair rows (the
+    smallest full-rank candidate, and the key most likely to be shared with
+    other blocks), each later one adds one more received repair row.  A
+    caller walks the sequence until a candidate's matrix turns out to be
+    non-singular; the last candidate uses every received symbol, which is
+    exactly the system the legacy exact-ESI path solved.
+
+    Keys have the shape ``("decode", params, missing_sources, used_repairs)``
+    -- the missing-source pattern plus the ascending repair ESIs consumed.
+    The row *selection* (which rows of a caller's received plane feed the
+    plan) is recomputed per call from ``used_esis``, so one plan serves any
+    superset of received symbols that shares the pattern.
+    """
+    ordered = sorted(set(esis))
+    k = params.num_source_symbols
+    sources = tuple(esi for esi in ordered if esi < k)
+    repairs = [esi for esi in ordered if esi >= k]
+    missing = missing_source_pattern(params, ordered)
+    for needed in range(min(len(missing), len(repairs)), len(repairs) + 1):
+        used_repairs = tuple(repairs[:needed])
+        yield ("decode", params, missing, used_repairs), sources + used_repairs
+
+
+def canonical_decode_key(
+    params: CodeParameters, esis: Sequence[int]
+) -> tuple[tuple, tuple[int, ...]]:
+    """The first (minimal-system) candidate of :func:`canonical_decode_candidates`."""
+    return next(canonical_decode_candidates(params, esis))
+
+
 @dataclass
 class PlanStore:
     """A picklable bag of elimination plans, keyed like the live plan cache.
@@ -205,10 +307,16 @@ class PlanStore:
 
     Keys follow the convention of :mod:`repro.rq.backend`:
     ``("encode", params)`` for encode-side plans and
-    ``("decode", params, esis)`` for decode-side plans.
+    ``("decode", params, missing_sources, used_repairs)`` (see
+    :func:`canonical_decode_candidates`) for decode-side plans.  The
+    ``schema`` field records which key convention the store was written
+    under; loading a store from a different schema raises
+    :class:`PlanStoreSchemaError` so stale keys can never poison a cache --
+    callers treat that as "rebuild", never as fatal.
     """
 
     plans: dict[Hashable, EliminationPlan] = field(default_factory=dict)
+    schema: int = PLAN_STORE_SCHEMA
 
     def __len__(self) -> int:
         return len(self.plans)
@@ -231,10 +339,22 @@ class PlanStore:
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "PlanStore":
-        """Rebuild a store serialised with :meth:`to_bytes`."""
+        """Rebuild a store serialised with :meth:`to_bytes`.
+
+        Raises :class:`PlanStoreSchemaError` when the store was written
+        under a different plan-key schema (including pre-versioning stores,
+        which unpickle as schema 1): its keys would never be looked up under
+        the current convention, so serving them would waste cache capacity
+        at best and replay stale plans at worst.
+        """
         store = pickle.loads(payload)
         if not isinstance(store, cls):
             raise TypeError(f"payload does not contain a PlanStore (got {type(store)!r})")
+        if store.schema != PLAN_STORE_SCHEMA:
+            raise PlanStoreSchemaError(
+                f"plan store uses key schema v{store.schema}, this build expects "
+                f"v{PLAN_STORE_SCHEMA}; discard the store and rebuild"
+            )
         return store
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -250,8 +370,11 @@ class PlanStore:
 
     def __setstate__(self, state: Mapping) -> None:
         # Unpickled numpy arrays come back writable; re-freeze the operators
-        # so shared plans stay immutable in every process.
+        # so shared plans stay immutable in every process.  Stores pickled
+        # before versioning carry no schema field: they were written under
+        # the exact-ESI keying, i.e. schema 1.
         self.__dict__.update(state)
+        self.schema = state.get("schema", 1)
         for plan in self.plans.values():
             plan.operator.setflags(write=False)
 

@@ -15,11 +15,14 @@ the symbol plane of every later block with the same code parameters.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
 
 import numpy as np
 
 from repro.rq.gf256 import gf_inv, gf_scale_rows, gf_scale_vector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rq.kernels import GFKernel
 
 
 class RowOpRecorder(Protocol):
@@ -75,6 +78,7 @@ def solve(
     values: np.ndarray,
     num_unknowns: Optional[int] = None,
     recorder: Optional[RowOpRecorder] = None,
+    kernel: Optional["GFKernel"] = None,
 ) -> np.ndarray:
     """Solve ``matrix . X = values`` for X over GF(256).
 
@@ -85,6 +89,11 @@ def solve(
         recorder: optional sink notified of every row operation performed;
             the recorded sequence depends only on ``matrix``, never on
             ``values``, so it can be replayed against other right-hand sides.
+        kernel: optional :class:`~repro.rq.kernels.GFKernel` whose
+            ``scale_rows`` executes the fused multiply-XOR row operations;
+            defaults to the numpy ground truth.  Every kernel computes the
+            exact same field arithmetic, so the solution (and any recorded
+            plan) is byte-identical regardless of the choice.
 
     Returns:
         (L, T) uint8 array of solved unknowns.
@@ -92,6 +101,7 @@ def solve(
     Raises:
         SingularMatrixError: if the system does not have full column rank.
     """
+    scale_rows = gf_scale_rows if kernel is None else kernel.scale_rows
     work = matrix.astype(np.uint8).copy()
     rhs = values.astype(np.uint8).copy()
     rows, cols = work.shape
@@ -132,8 +142,8 @@ def solve(
         targets = np.nonzero(column)[0]
         if targets.size:
             factors = column[targets]
-            work[targets] ^= gf_scale_rows(np.tile(work[rank], (targets.size, 1)), factors)
-            rhs[targets] ^= gf_scale_rows(np.tile(rhs[rank], (targets.size, 1)), factors)
+            work[targets] ^= scale_rows(np.tile(work[rank], (targets.size, 1)), factors)
+            rhs[targets] ^= scale_rows(np.tile(rhs[rank], (targets.size, 1)), factors)
             if recorder is not None:
                 recorder.eliminate(rank, targets.copy(), factors.copy())
         pivot_column_of_row.append(col)

@@ -91,3 +91,29 @@ class TestCli:
         assert args.fattree_k == 6
         assert args.sessions == 10
         assert args.load == pytest.approx(0.1)
+
+    def test_cli_kernel_flag_threads_into_config(self):
+        from repro.cli import _build_config, build_parser
+
+        args = build_parser().parse_args(["figure1a", "--kernel", "blocked"])
+        assert _build_config(args).polyraptor.codec_kernel == "blocked"
+        # Default stays auto; bogus names are rejected at parse time.
+        assert build_parser().parse_args(["mix"]).kernel == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "--kernel", "fortran"])
+
+    def test_cli_paper_scale_selects_paper_fabric(self):
+        from repro.cli import _build_config, build_parser
+        from repro.experiments.config import ExperimentConfig
+
+        args = build_parser().parse_args(
+            ["resilience", "--paper-scale", "--seed", "7", "--kernel", "numpy"]
+        )
+        config = _build_config(args)
+        preset = ExperimentConfig.paper_fabric()
+        assert config.fattree_k == 10
+        assert config.num_hosts == 250
+        assert config.num_foreground_transfers == preset.num_foreground_transfers
+        assert config.offered_load == pytest.approx(preset.offered_load)
+        assert config.seed == 7
+        assert config.polyraptor.codec_kernel == "numpy"

@@ -274,6 +274,30 @@ class TestPersistentPlanCache:
 
         assert len(PlanStore.load(path)) >= 1  # rebuilt and saved over the junk
 
+    def test_other_schema_cache_file_warns_and_is_rebuilt(self, tmp_path):
+        # A cache written under another plan-key schema (e.g. the pre-canonical
+        # exact-ESI keying) must be discarded with a warning, then rebuilt --
+        # never silently preloaded into worker caches.
+        import pickle as _pickle
+
+        from repro.rq.plan import PLAN_STORE_SCHEMA, PlanStore
+        from repro.rq.backend import prewarm_encode_plans
+
+        stale = prewarm_encode_plans([11])
+        del stale.__dict__["schema"]  # as written by pre-versioning builds
+        path = tmp_path / "plans.pkl"
+        path.write_bytes(_pickle.dumps(stale, protocol=_pickle.HIGHEST_PROTOCOL))
+        jobs = _payload_jobs(seeds=(1,))
+        set_plan_cache_path(path)
+        try:
+            with pytest.warns(RuntimeWarning, match="discarding plan cache"):
+                store = plan_store_for_jobs(jobs)
+        finally:
+            set_plan_cache_path(None)
+        assert store is not None and len(store) >= 1
+        rebuilt = PlanStore.load(path)  # rewritten under the current schema
+        assert rebuilt.schema == PLAN_STORE_SCHEMA
+
     def test_default_path_is_keyed_by_version(self):
         from repro import __version__
 

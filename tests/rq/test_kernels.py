@@ -1,0 +1,295 @@
+"""Tests for the GF(256) kernel registry and canonical decode-plan keys.
+
+Two load-bearing properties:
+
+1. **Kernel equivalence.**  Every available kernel produces byte-identical
+   ``matmul`` / ``matvec`` / ``scale_rows`` results vs the ``numpy`` ground
+   truth on randomised uint8 inputs (including all-zero rows and factors),
+   and full lossy decode sessions come out identical across kernels.
+
+2. **Canonical decode keys raise the hit rate under loss** (strictly, with
+   counters straight from :class:`~repro.rq.backend.CodecContext`): blocks
+   that lose the same source pattern share one elimination plan no matter
+   how many surplus repair symbols each happened to receive, where the
+   legacy exact-ESI keying builds a fresh plan per surplus count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rq.backend import CodecContext, prewarm_decode_plans
+from repro.rq.decoder import BlockDecoder
+from repro.rq.encoder import BlockEncoder
+from repro.rq.gf256 import gf_matmul, gf_matvec, gf_scale_rows
+from repro.rq.kernels import (
+    KERNEL_ENV_VAR,
+    available_kernels,
+    best_kernel_name,
+    default_kernel_name,
+    get_kernel,
+    registered_kernels,
+)
+from repro.rq.params import for_k
+from repro.rq.plan import canonical_decode_candidates, canonical_decode_key, missing_source_pattern
+
+K = 16
+SYMBOL_SIZE = 64
+
+
+def source_block(k: int = K, seed: int = 1) -> list[bytes]:
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(SYMBOL_SIZE)) for _ in range(k)]
+
+
+class TestKernelRegistry:
+    def test_all_three_kernels_registered(self):
+        assert {"numpy", "blocked", "numba"} <= set(registered_kernels())
+
+    def test_pure_python_kernels_always_available(self):
+        assert {"numpy", "blocked"} <= set(available_kernels())
+
+    def test_best_kernel_prefers_acceleration(self):
+        best = best_kernel_name()
+        assert best != "numpy"
+        assert best in available_kernels()
+
+    def test_get_kernel_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown GF\\(256\\) kernel"):
+            get_kernel("does-not-exist")
+
+    def test_get_kernel_passes_instances_through(self):
+        kernel = get_kernel("blocked")
+        assert get_kernel(kernel) is kernel
+
+    def test_instances_are_shared(self):
+        assert get_kernel("blocked") is get_kernel("blocked")
+
+    def test_env_var_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        assert default_kernel_name() == "numpy"
+        assert CodecContext("planned").kernel_name == "numpy"
+
+    def test_env_var_bogus_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "not-a-kernel")
+        with pytest.warns(RuntimeWarning, match="not an available"):
+            assert default_kernel_name() == best_kernel_name()
+
+    def test_explicit_unavailable_kernel_raises(self):
+        unavailable = set(registered_kernels()) - set(available_kernels())
+        for name in unavailable:  # numba, on platforms without it
+            with pytest.raises(ValueError, match="not available"):
+                get_kernel(name)
+
+    def test_context_reports_kernel_in_stats(self):
+        context = CodecContext("planned", kernel="blocked")
+        stats = context.stats_dict()
+        assert stats["kernel"] == "blocked"
+        assert stats["canonical_decode_plans"] is True
+
+
+class TestKernelEquivalence:
+    """Byte-identical results vs the numpy ground truth, for every kernel."""
+
+    def _cases(self):
+        rng = np.random.default_rng(7)
+        cases = []
+        for m, n, t in [(1, 1, 1), (5, 8, 3), (34, 16, 130), (51, 40, 257)]:
+            a = rng.integers(0, 256, (m, n), dtype=np.uint8)
+            b = rng.integers(0, 256, (n, t), dtype=np.uint8)
+            cases.append((a, b))
+        # Zero rows / zero columns / all-zero operands must short-circuit
+        # identically.
+        a = rng.integers(0, 256, (6, 9), dtype=np.uint8)
+        b = rng.integers(0, 256, (9, 11), dtype=np.uint8)
+        a[2] = 0
+        a[:, 4] = 0
+        b[1] = 0
+        cases.append((a, b))
+        cases.append((np.zeros((4, 5), dtype=np.uint8), b[:5]))
+        return cases
+
+    @pytest.mark.parametrize("name", sorted(set(available_kernels()) - {"numpy"}))
+    def test_matmul_matches_numpy(self, name):
+        kernel = get_kernel(name)
+        for a, b in self._cases():
+            assert np.array_equal(kernel.matmul(a, b), gf_matmul(a, b)), name
+
+    @pytest.mark.parametrize("name", sorted(set(available_kernels()) - {"numpy"}))
+    def test_matmul_accepts_noncontiguous_views(self, name):
+        # Plan replay passes operator[:, first_row:] -- a non-contiguous view.
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 256, (20, 30), dtype=np.uint8)
+        b = rng.integers(0, 256, (18, 40), dtype=np.uint8)
+        kernel = get_kernel(name)
+        assert np.array_equal(kernel.matmul(a[:, 12:], b), gf_matmul(a[:, 12:], b))
+
+    @pytest.mark.parametrize("name", sorted(set(available_kernels()) - {"numpy"}))
+    def test_matvec_matches_numpy(self, name):
+        kernel = get_kernel(name)
+        rng = np.random.default_rng(9)
+        for m, n in [(1, 1), (7, 5), (33, 20)]:
+            matrix = rng.integers(0, 256, (m, n), dtype=np.uint8)
+            vector = rng.integers(0, 256, n, dtype=np.uint8)
+            matrix[0] = 0
+            vector[-1] = 0
+            assert np.array_equal(kernel.matvec(matrix, vector), gf_matvec(matrix, vector))
+
+    @pytest.mark.parametrize("name", sorted(set(available_kernels()) - {"numpy"}))
+    def test_scale_rows_matches_numpy(self, name):
+        kernel = get_kernel(name)
+        rng = np.random.default_rng(10)
+        rows = rng.integers(0, 256, (9, 13), dtype=np.uint8)
+        rows[3] = 0
+        factors = rng.integers(0, 256, 9, dtype=np.uint8)
+        factors[0] = 0
+        factors[5] = 0
+        assert np.array_equal(kernel.scale_rows(rows, factors), gf_scale_rows(rows, factors))
+        zero_factors = np.zeros(9, dtype=np.uint8)
+        assert np.array_equal(
+            kernel.scale_rows(rows, zero_factors), gf_scale_rows(rows, zero_factors)
+        )
+
+    @pytest.mark.parametrize("name", sorted(available_kernels()))
+    def test_shape_validation_preserved(self, name):
+        kernel = get_kernel(name)
+        with pytest.raises(ValueError):
+            kernel.matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8))
+
+    @pytest.mark.parametrize("name", sorted(available_kernels()))
+    def test_lossy_decode_identical_across_kernels(self, name):
+        source = source_block()
+        baseline_encoder = BlockEncoder(source, context=CodecContext("planned", kernel="numpy"))
+        rng = random.Random(4)
+        kept = [esi for esi in range(K) if rng.random() > 0.3]
+        repairs = list(range(K, K + (K - len(kept)) + 2))
+        symbols = [(esi, baseline_encoder.symbol(esi)) for esi in kept + repairs]
+
+        context = CodecContext("planned", kernel=name)
+        encoder = BlockEncoder(source, context=context)
+        for esi, _ in symbols:
+            assert encoder.symbol(esi) == baseline_encoder.symbol(esi)
+        decoder = BlockDecoder(K, SYMBOL_SIZE, context=context)
+        for esi, data in symbols:
+            decoder.add_symbol(esi, data)
+        result = decoder.decode()
+        assert result.success
+        assert result.source_symbols == source
+
+
+class TestCanonicalDecodeKeys:
+    def test_missing_source_pattern(self):
+        params = for_k(8)
+        assert missing_source_pattern(params, [0, 1, 3, 4, 6, 7, 8, 9]) == (2, 5)
+        assert missing_source_pattern(params, range(8)) == ()
+
+    def test_candidates_widen_from_minimal_system(self):
+        params = for_k(8)
+        esis = [0, 1, 3, 4, 6, 7, 8, 9, 10, 11]  # missing {2, 5}, four repairs
+        candidates = list(canonical_decode_candidates(params, esis))
+        keys = [key for key, _ in candidates]
+        used = [u for _, u in candidates]
+        assert keys[0] == ("decode", params, (2, 5), (8, 9))
+        assert used[0] == (0, 1, 3, 4, 6, 7, 8, 9)
+        assert keys[-1] == ("decode", params, (2, 5), (8, 9, 10, 11))
+        assert used[-1] == tuple(sorted(esis))
+        assert len(candidates) == 3
+
+    def test_key_ignores_surplus_repairs(self):
+        params = for_k(8)
+        lean, _ = canonical_decode_key(params, [0, 1, 3, 4, 6, 7, 8, 9])
+        fat, _ = canonical_decode_key(params, [0, 1, 3, 4, 6, 7, 8, 9, 10, 11, 12])
+        assert lean == fat
+
+    def test_key_distinguishes_loss_patterns_and_repair_rows(self):
+        params = for_k(8)
+        one, _ = canonical_decode_key(params, [0, 1, 3, 4, 6, 7, 8, 9])
+        other_pattern, _ = canonical_decode_key(params, [0, 1, 2, 4, 6, 7, 8, 9])
+        other_repairs, _ = canonical_decode_key(params, [0, 1, 3, 4, 6, 7, 9, 10])
+        assert one != other_pattern
+        assert one != other_repairs
+
+    def _lossy_sessions(self, encoder, patterns, surpluses):
+        """(esis, symbols) per (pattern, surplus) combination, round-robin."""
+        sessions = []
+        for index, missing in enumerate(patterns * len(surpluses)):
+            surplus = surpluses[index // len(patterns)]
+            kept = [esi for esi in range(K) if esi not in missing]
+            repairs = list(range(K, K + len(missing) + surplus))
+            esis = kept + repairs
+            sessions.append([(esi, encoder.symbol(esi)) for esi in esis])
+        return sessions
+
+    def test_canonical_hit_rate_strictly_beats_exact_keys_under_loss(self):
+        """The acceptance check: >= 10% loss, counters from CodecContext."""
+        encoder = BlockEncoder(source_block(), context=CodecContext("reference"))
+        # Four recurring >=12.5% loss patterns (2-3 of 16 sources lost), each
+        # seen with 0, 1 and 2 surplus repair symbols beyond the minimum.
+        patterns = [(0, 1), (2, 9), (5, 11, 14), (3,)]
+        sessions = self._lossy_sessions(encoder, patterns, surpluses=[2, 3, 4])
+
+        source = source_block()
+        rates = {}
+        for canonical in (True, False):
+            context = CodecContext("planned", canonical_decode_plans=canonical)
+            for symbols in sessions:
+                decoder = BlockDecoder(K, SYMBOL_SIZE, context=context)
+                for esi, data in symbols:
+                    decoder.add_symbol(esi, data)
+                result = decoder.decode()
+                assert result.success and result.used_gaussian_elimination
+                assert result.source_symbols == source
+            assert context.decode_stats.lookups > 0
+            rates[canonical] = context.decode_stats.hit_rate
+        assert rates[True] > rates[False], (
+            f"canonical decode hit rate {rates[True]:.3f} must strictly beat "
+            f"exact-ESI keying {rates[False]:.3f}"
+        )
+
+    def test_same_pattern_different_surplus_shares_one_plan(self):
+        encoder = BlockEncoder(source_block(), context=CodecContext("reference"))
+        context = CodecContext("planned")
+        missing = (1, 7)
+        for surplus in (2, 4):
+            kept = [esi for esi in range(K) if esi not in missing]
+            repairs = list(range(K, K + len(missing) + surplus))
+            decoder = BlockDecoder(K, SYMBOL_SIZE, context=context)
+            for esi in kept + repairs:
+                decoder.add_symbol(esi, encoder.symbol(esi))
+            assert decoder.decode().success
+        # One decode-plan build total; the second, wider session hit it.
+        assert context.decode_stats.misses <= 1 + context.decode_plan_retries
+        assert context.decode_stats.hits >= 1
+
+    def test_prewarmed_canonical_plan_covers_other_surpluses(self):
+        source = source_block(seed=5)
+        encoder = BlockEncoder(source, context=CodecContext("reference"))
+        missing = (0, 4)
+        kept = [esi for esi in range(K) if esi not in missing]
+        # Prewarm from a session with 3 surplus repairs...
+        warm_esis = kept + list(range(K, K + len(missing) + 3))
+        store = prewarm_decode_plans(K, [warm_esis])
+        context = CodecContext("planned", preload=store)
+        # ... and decode a session with zero surplus: same canonical plan.
+        decoder = BlockDecoder(K, SYMBOL_SIZE, context=context)
+        for esi in kept + list(range(K, K + len(missing))):
+            decoder.add_symbol(esi, encoder.symbol(esi))
+        result = decoder.decode()
+        assert result.success
+        assert result.source_symbols == source
+        if context.decode_plan_retries == 0:
+            assert context.decode_stats.misses == 0
+            assert context.decode_stats.hits == 1
+
+    def test_exact_keying_still_selectable(self):
+        encoder = BlockEncoder(source_block(), context=CodecContext("reference"))
+        context = CodecContext("planned", canonical_decode_plans=False)
+        esis = list(range(2, K)) + [K, K + 1]
+        decoder = BlockDecoder(K, SYMBOL_SIZE, context=context)
+        for esi in esis:
+            decoder.add_symbol(esi, encoder.symbol(esi))
+        assert decoder.decode().success
+        assert context.decode_stats.misses == 1

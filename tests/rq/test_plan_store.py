@@ -21,7 +21,12 @@ from repro.rq.backend import (
 from repro.rq.decoder import BlockDecoder
 from repro.rq.encoder import BlockEncoder
 from repro.rq.params import for_k
-from repro.rq.plan import PlanCache, PlanStore
+from repro.rq.plan import (
+    PLAN_STORE_SCHEMA,
+    PlanCache,
+    PlanStore,
+    PlanStoreSchemaError,
+)
 
 K = 16
 SYMBOL_SIZE = 32
@@ -57,6 +62,26 @@ class TestPlanStoreRoundTrip:
     def test_from_bytes_rejects_other_objects(self):
         with pytest.raises(TypeError):
             PlanStore.from_bytes(pickle.dumps({"not": "a store"}))
+
+    def test_store_records_current_schema(self):
+        assert PlanStore().schema == PLAN_STORE_SCHEMA
+        assert prewarm_encode_plans([K]).schema == PLAN_STORE_SCHEMA
+
+    def test_other_schema_rejected_cleanly(self):
+        store = prewarm_encode_plans([K])
+        store.schema = PLAN_STORE_SCHEMA + 1
+        with pytest.raises(PlanStoreSchemaError, match="schema"):
+            PlanStore.from_bytes(store.to_bytes())
+
+    def test_legacy_unversioned_pickle_rejected(self, tmp_path):
+        # Stores written before versioning carried no schema field at all;
+        # they restore as schema 1 and must be refused, not served.
+        store = prewarm_encode_plans([K])
+        del store.__dict__["schema"]
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(pickle.dumps(store, protocol=pickle.HIGHEST_PROTOCOL))
+        with pytest.raises(PlanStoreSchemaError, match="v1"):
+            PlanStore.load(path)
 
     def test_merge_keeps_existing_plans(self):
         first = prewarm_encode_plans([K])
