@@ -9,6 +9,7 @@ Usage (``python -m repro`` and ``python -m repro.cli`` are equivalent)::
     python -m repro hotspot
     python -m repro mix
     python -m repro resilience --intensities 0 0.5 1.0
+    python -m repro correlated --srlg-sizes 1 3 --gray-loss 0.01 0.05
     python -m repro all --fattree-k 4 --sessions 24
 
 Each command prints the same text table the corresponding benchmark produces,
@@ -48,9 +49,11 @@ from repro.experiments.parallel import (
     set_plan_cache_path,
     set_progress_logger,
 )
+from repro.experiments.correlated import run_correlated
 from repro.experiments.report import (
     format_ablation,
     format_codec_stats,
+    format_correlated,
     format_figure1c,
     format_overhead,
     format_rank_figure,
@@ -124,6 +127,38 @@ def _intensity_type(value: str) -> float:
             f"intensity must be a fraction in [0, 1], got {value}"
         )
     return intensity
+
+
+def _gray_loss_type(value: str) -> float:
+    try:
+        rate = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"gray-loss rate must be a number, got {value!r}")
+    if not 0.0 < rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"gray-loss rate must be a probability in (0, 1], got {value}"
+        )
+    return rate
+
+
+def _srlg_size_type(value: str) -> int:
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"SRLG size must be an integer, got {value!r}")
+    if size < 1:
+        raise argparse.ArgumentTypeError(f"SRLG size must be at least 1, got {value}")
+    return size
+
+
+def _delay_ms_type(value: str) -> float:
+    try:
+        delay = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"delay must be a number (ms), got {value!r}")
+    if delay < 0:
+        raise argparse.ArgumentTypeError(f"delay cannot be negative, got {value}")
+    return delay
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -222,6 +257,18 @@ def _cmd_resilience(args: argparse.Namespace) -> str:
     return format_resilience(result) + "\n\n" + format_codec_stats(result.codec_stats)
 
 
+def _cmd_correlated(args: argparse.Namespace) -> str:
+    result = run_correlated(
+        _build_config(args),
+        srlg_sizes=tuple(args.srlg_sizes),
+        gray_rates=tuple(args.gray_loss),
+        convergence_delays=tuple(ms / 1e3 for ms in args.convergence_delay_ms),
+        num_seeds=_seeds(args),
+        jobs=args.jobs,
+    )
+    return format_correlated(result) + "\n\n" + format_codec_stats(result.codec_stats)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     return "\n\n".join(
         [
@@ -232,6 +279,7 @@ def _cmd_all(args: argparse.Namespace) -> str:
             _cmd_hotspot(args),
             _cmd_mix(args),
             _cmd_resilience(args),
+            _cmd_correlated(args),
         ]
     )
 
@@ -252,6 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("mix", _cmd_mix, "heavy-tailed workload-mix extension experiment"),
         ("resilience", _cmd_resilience,
          "path-resilience sweep under injected faults"),
+        ("correlated", _cmd_correlated,
+         "correlated/gray failures with routing-convergence delay"),
         ("all", _cmd_all, "everything above in sequence"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
@@ -259,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
         # --seeds only applies to the multi-seed sweeps; ablations/hotspot/mix
         # are single-seed by design, so they simply don't accept the flag.
-        if name in ("figure1a", "figure1b", "figure1c", "resilience", "all"):
+        if name in ("figure1a", "figure1b", "figure1c", "resilience", "correlated", "all"):
             sub.add_argument("--seeds", type=int, default=None,
                              help="repetition seeds per series (default: 1; figure1c: 3)")
         if name in ("figure1c", "all"):
@@ -272,6 +322,21 @@ def build_parser() -> argparse.ArgumentParser:
                              default=[0.0, 0.3, 0.6, 1.0],
                              help="fault intensities in [0, 1] to sweep (0 = healthy "
                                   "baseline, always included)")
+        if name in ("correlated", "all"):
+            sub.add_argument("--srlg-sizes", type=_srlg_size_type, nargs="+",
+                             default=[1, 3], metavar="N",
+                             help="shared-risk link group sizes to sweep (links that "
+                                  "fail together; the first size also anchors the "
+                                  "convergence-delay cells)")
+            sub.add_argument("--gray-loss", type=_gray_loss_type, nargs="+",
+                             default=[0.01, 0.05], metavar="P",
+                             help="gray-failure Bernoulli loss rates in (0, 1] smeared "
+                                  "across half the fabric links (routing never reacts)")
+            sub.add_argument("--convergence-delay-ms", type=_delay_ms_type, nargs="+",
+                             default=[0.0, 1.0], metavar="MS",
+                             help="control-plane convergence lags (milliseconds) to "
+                                  "replay the reference SRLG event under; 0 = "
+                                  "instantaneous reconvergence")
     return parser
 
 

@@ -49,6 +49,17 @@ class PolyraptorConfig:
             acknowledge every DONE (healthy sessions therefore never
             retry), retries are idempotent, and the cap keeps event heaps
             finite when a sender stays unreachable.
+        startup_retry_limit: how many times a push sender re-probes
+            receivers it has never heard from (one unicast symbol each,
+            exponential backoff starting at ``stall_timeout_s``).  The
+            receiver-side stall timer only exists once a receiver has
+            learned of the session from a first arriving symbol; if the
+            sender starts while its own rack is dark (a rack power event),
+            or one receiver's rack is, that receiver never hears anything
+            and the session would deadlock.  Probing is cancelled per
+            receiver as pulls or DONEs arrive, so healthy sessions never
+            retry and a multicast group keeps probing only its dark
+            members.
         straggler_detection: enable the multicast straggler extension (detach
             receivers that fall too far behind into a unicast leg).
         straggler_lag_symbols: how many pulls a receiver may lag behind the
@@ -81,6 +92,7 @@ class PolyraptorConfig:
     divide_initial_window_among_senders: bool = True
     stall_timeout_s: float = 500 * MICROSECOND
     done_retry_limit: int = 8
+    startup_retry_limit: int = 8
     straggler_detection: bool = False
     straggler_lag_symbols: int = 12
     codec_backend: str = "planned"
@@ -109,6 +121,7 @@ class PolyraptorConfig:
         check_positive("max_symbols_per_block", self.max_symbols_per_block)
         check_positive("stall_timeout_s", self.stall_timeout_s)
         check_non_negative("done_retry_limit", self.done_retry_limit)
+        check_non_negative("startup_retry_limit", self.startup_retry_limit)
         check_positive("straggler_lag_symbols", self.straggler_lag_symbols)
 
     @property

@@ -26,6 +26,7 @@ from repro.core.packets import DoneAckPayload, DonePayload, PullPayload, SymbolP
 from repro.core.straggler import StragglerPolicy
 from repro.network.packet import Packet, PacketKind, make_control_packet
 from repro.rq.block import ObjectEncoder, partition_object
+from repro.sim.process import Timer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.agent import PolyraptorAgent
@@ -109,6 +110,16 @@ class SenderSession:
         self.pulls_received = 0
         self.multicast_rounds = 0
         self.detached_count = 0
+        #: startup-stall recovery: a receiver that never gets a single
+        #: symbol -- e.g. its (or this sender's) rack lost power the moment
+        #: the session started -- does not even know the session exists, so
+        #: nothing on its side can unblock it.  Probing is cancelled
+        #: per-receiver: the timer stops only once every receiver has been
+        #: heard from (a pull or a DONE), so a multicast session with one
+        #: dark receiver keeps probing that receiver alone.
+        self.startup_retries = 0
+        self._heard_receivers: set[int] = set()
+        self._startup_timer = Timer(agent.sim, self._on_startup_stall)
 
     # Public API ------------------------------------------------------------------
 
@@ -132,9 +143,14 @@ class SenderSession:
         picks = [self._next_symbol(None) for _ in range(window)]
         for (block, esi), data in zip(picks, self._batch_payloads(picks)):
             self._emit_symbol(block, esi, data=data)
+        if self.config.startup_retry_limit > 0:
+            self._startup_timer.start(self.config.stall_timeout_s)
 
     def on_pull(self, pull: PullPayload) -> None:
         """Handle a pull request from a receiver."""
+        # A pull proves *this* receiver learned of the session; probing
+        # stops only once every receiver has been heard from.
+        self._note_receiver_heard(pull.receiver_host)
         if self.completed:
             return
         self.pulls_received += 1
@@ -157,6 +173,7 @@ class SenderSession:
 
     def on_done(self, done: DonePayload) -> None:
         """Handle a receiver's DONE notification."""
+        self._note_receiver_heard(done.receiver_host)
         receiver = done.receiver_host
         # Always acknowledge, duplicates included: the receiver retransmits
         # DONE until an ack arrives, and an earlier ack may itself have been
@@ -311,6 +328,47 @@ class SenderSession:
             # Aggregation may now be unblocked for the remaining receivers.
             self._run_multicast_rounds()
 
+    # Startup-stall recovery ------------------------------------------------------------
+
+    def _note_receiver_heard(self, receiver: int) -> None:
+        """Stop startup probing once every receiver has proven it knows us."""
+        if not self._startup_timer.running:
+            return
+        self._heard_receivers.add(receiver)
+        if set(self.receiver_host_ids) <= (self._heard_receivers | self._done_receivers):
+            self._startup_timer.stop()
+
+    def _on_startup_stall(self) -> None:
+        """Some receiver has never been heard from: its symbols all died.
+
+        This is the sender-side twin of the receiver's stall timer, needed
+        because that timer only exists once a receiver has *learned of* the
+        session -- a sender that starts inside a dead rack (rack power
+        fault) announces to nobody, and a receiver whose own rack was dark
+        misses the whole initial window even while its group mates pull
+        happily.  Re-probe each unheard receiver with one unicast symbol,
+        backing off exponentially; probing stops per receiver as pulls or
+        DONEs arrive, and the retry cap keeps the event heap finite when a
+        receiver stays unreachable to the end of the run.
+        """
+        if self.completed:
+            return
+        targets = [
+            r for r in self.receiver_host_ids
+            if r not in self._heard_receivers and r not in self._done_receivers
+        ]
+        if not targets:
+            return
+        self.startup_retries += 1
+        picks = [self._next_symbol(None) for _ in targets]
+        payloads = self._batch_payloads(picks)
+        for receiver, (block, esi), data in zip(targets, picks, payloads):
+            self._emit_symbol(block, esi, unicast_to=receiver, data=data)
+        if self.startup_retries < self.config.startup_retry_limit:
+            self._startup_timer.start(
+                self.config.stall_timeout_s * (2 ** self.startup_retries)
+            )
+
     # Completion -----------------------------------------------------------------------
 
     def _complete(self) -> None:
@@ -318,5 +376,6 @@ class SenderSession:
             return
         self.completed = True
         self.completion_time = self.agent.sim.now
+        self._startup_timer.stop()
         if self._on_all_receivers_done is not None:
             self._on_all_receivers_done(self.agent.sim.now)

@@ -11,6 +11,10 @@
 * :mod:`repro.experiments.figure1c` -- Incast (Figure 1c).
 * :mod:`repro.experiments.ablations`-- design-choice ablations (trimming,
   spraying, RQ overhead, initial window).
+* :mod:`repro.experiments.resilience` -- FCT degradation under injected
+  fault intensities (independent faults).
+* :mod:`repro.experiments.correlated` -- correlated failure models (SRLGs,
+  rack power, gray loss) with routing-convergence delay.
 * :mod:`repro.experiments.report`   -- plain-text rendering of the results.
 """
 

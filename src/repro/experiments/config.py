@@ -54,6 +54,12 @@ class ExperimentConfig:
     tcp: TcpConfig = field(default_factory=TcpConfig)
     data_queue_capacity_packets: int = 8
     droptail_capacity_packets: int = 100
+    #: routing-convergence lag after a topology change (0 = instantaneous,
+    #: the historical behaviour); applies to both protocols' fabrics and
+    #: rides inside RunJob configs, so sharded sweeps stay byte-identical.
+    convergence_delay_s: float = 0.0
+    #: seeded jitter fraction on the convergence lag (see NetworkConfig).
+    convergence_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.fattree_k < 2 or self.fattree_k % 2:
@@ -64,6 +70,10 @@ class ExperimentConfig:
         check_probability("background_fraction", self.background_fraction)
         check_positive("offered_load", self.offered_load)
         check_positive("max_sim_time_s", self.max_sim_time_s)
+        if self.convergence_delay_s < 0:
+            raise ValueError("convergence_delay_s cannot be negative")
+        if self.convergence_jitter < 0:
+            raise ValueError("convergence_jitter cannot be negative")
 
     # Derived quantities ---------------------------------------------------------
 
@@ -109,6 +119,8 @@ class ExperimentConfig:
                 switch_queue="trimming",
                 data_queue_capacity_packets=self.data_queue_capacity_packets,
                 routing_mode=RoutingMode.PACKET_SPRAY,
+                convergence_delay_s=self.convergence_delay_s,
+                convergence_jitter=self.convergence_jitter,
             )
         return NetworkConfig(
             link_rate_bps=self.link_rate_bps,
@@ -116,6 +128,8 @@ class ExperimentConfig:
             switch_queue="droptail",
             droptail_capacity_packets=self.droptail_capacity_packets,
             routing_mode=RoutingMode.ECMP_FLOW,
+            convergence_delay_s=self.convergence_delay_s,
+            convergence_jitter=self.convergence_jitter,
         )
 
     def with_seed(self, seed: int) -> "ExperimentConfig":

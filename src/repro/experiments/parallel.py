@@ -140,8 +140,12 @@ class RunJob:
         network_config: optional fabric override (used by the trimming and
             spraying ablations).
         fault_schedule: optional declarative fault schedule executed against
-            the run's fabric (used by the resilience experiment); schedules
-            are immutable value objects, so they pickle to workers unchanged.
+            the run's fabric (used by the resilience and correlated
+            experiments); schedules are immutable value objects, so they
+            pickle to workers unchanged.  Routing-convergence lag needs no
+            field of its own: it rides inside ``config.convergence_delay_s``
+            and its jitter draws from the run's seeded streams, so delayed
+            reinstalls stay byte-identical for any worker count.
     """
 
     key: Hashable

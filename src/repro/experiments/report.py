@@ -12,10 +12,17 @@ from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids circular imports
     from repro.experiments.ablations import AblationPoint, OverheadPoint
+    from repro.experiments.correlated import CorrelatedResult
     from repro.experiments.figure1a import Figure1aResult
     from repro.experiments.figure1b import Figure1bResult
     from repro.experiments.figure1c import Figure1cResult
     from repro.experiments.resilience import ResilienceResult
+
+
+def _fct_cell(value: float) -> str:
+    """Format an FCT quantile; cells with no completed transfers (infinite
+    quantiles) render as ``-``, like the undefined degradation ratio."""
+    return f"{value:.3f}" if math.isfinite(value) else "-"
 
 
 def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -210,41 +217,73 @@ def format_fault_stats(
 
     Series that ran on a healthy fabric (``None`` stats, e.g. the intensity-0
     baselines) render as ``-`` rows so every row of an experiment is listed.
+    When any series carries routing-convergence accounting an ``installs``
+    column shows ``route_installs/recomputes_requested`` -- under
+    control-plane lag the two differ, exposing installs that were still
+    pending (or superseded) when the run ended.  When any series carries
+    per-builder cause counters (``cause_srlg``, ``cause_gray``, ...) an
+    extra ``causes`` column attributes the applied events to their failure
+    models.
     """
+    def cause_summary(stats: Mapping) -> str:
+        parts = [
+            f"{key[len('cause_'):]}:{stats[key]}"
+            for key in sorted(stats)
+            if key.startswith("cause_")
+        ]
+        return ",".join(parts) if parts else "-"
+
+    present = [stats for stats in stats_by_label.values() if stats]
+    has_installs = any("recomputes_requested" in stats for stats in present)
+    has_causes = any(
+        any(key.startswith("cause_") for key in stats) for stats in present
+    )
+    width = 7 + has_installs + has_causes
     rows = []
     for label in sorted(stats_by_label):
         stats = stats_by_label[label]
         if not stats:
-            rows.append([label] + ["-"] * 7)
+            rows.append([label] + ["-"] * width)
             continue
-        rows.append(
-            [
-                label,
-                str(stats.get("links_failed", 0)),
-                str(stats.get("links_degraded", 0)),
-                str(stats.get("links_lossy", 0)),
-                str(stats.get("switches_failed", 0)),
-                str(stats.get("reroutes", 0)),
-                str(
-                    stats.get("packets_dropped_link_down", 0)
-                    + stats.get("packets_dropped_switch_down", 0)
-                ),
-                str(stats.get("packets_dropped_random_loss", 0)),
-            ]
-        )
-    table = _format_table(
-        [
-            "series",
-            "links down",
-            "degraded",
-            "lossy",
-            "switch down",
-            "reroutes",
-            "pkts dead-path",
-            "pkts rand-loss",
-        ],
-        rows,
-    )
+        row = [
+            label,
+            str(stats.get("links_failed", 0)),
+            str(stats.get("links_degraded", 0)),
+            str(stats.get("links_lossy", 0)),
+            str(stats.get("switches_failed", 0)),
+            str(stats.get("reroutes", 0)),
+        ]
+        if has_installs:
+            row.append(
+                f"{stats.get('route_installs', 0)}/{stats.get('recomputes_requested', 0)}"
+            )
+        row += [
+            str(
+                stats.get("packets_dropped_link_down", 0)
+                + stats.get("packets_dropped_switch_down", 0)
+            ),
+            str(stats.get("packets_dropped_random_loss", 0)),
+        ]
+        if has_causes:
+            row.append(cause_summary(stats))
+        rows.append(row)
+    headers = [
+        "series",
+        "links down",
+        "degraded",
+        "lossy",
+        "switch down",
+        "reroutes",
+    ]
+    if has_installs:
+        headers.append("installs")
+    headers += [
+        "pkts dead-path",
+        "pkts rand-loss",
+    ]
+    if has_causes:
+        headers.append("causes")
+    table = _format_table(headers, rows)
     return f"{title}\n{table}"
 
 
@@ -258,11 +297,6 @@ def format_resilience(
     FCT ratio against the same protocol's healthy (intensity 0) baseline,
     followed by the per-cell fault counter table.
     """
-    def quantile(value: float) -> str:
-        # A cell with no completed transfers has infinite FCT quantiles;
-        # render those as "-" like the undefined degradation ratio.
-        return f"{value:.3f}" if math.isfinite(value) else "-"
-
     rows = []
     fault_stats: dict[str, Optional[dict]] = {}
     for (protocol_value, intensity), point in sorted(result.points.items()):
@@ -271,8 +305,8 @@ def format_resilience(
                 protocol_value,
                 f"{intensity:.2f}",
                 f"{point.completed}/{point.offered}",
-                quantile(point.median_fct_ms),
-                quantile(point.p90_fct_ms),
+                _fct_cell(point.median_fct_ms),
+                _fct_cell(point.p90_fct_ms),
                 f"{point.mean_goodput_gbps:.3f}",
                 f"{point.fct_vs_healthy:.2f}x" if point.fct_vs_healthy is not None else "-",
             ]
@@ -282,6 +316,52 @@ def format_resilience(
         [
             "protocol",
             "intensity",
+            "completed",
+            "median FCT ms",
+            "p90 FCT ms",
+            "mean Gbps",
+            "vs healthy",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}\n\n{format_fault_stats(fault_stats)}"
+
+
+def format_correlated(
+    result: CorrelatedResult,
+    title: str = "Correlated & gray failures -- FCT degradation with convergence lag",
+) -> str:
+    """Render the correlated sweep: degradation table plus fault counters.
+
+    One row per (protocol, cell) in sweep order -- healthy baseline, SRLG
+    sizes, rack power, gray-loss rates, convergence delays -- with
+    completion, FCT quantiles and the ratio against the same protocol's
+    healthy cell, followed by the fault counter table (including the
+    per-builder ``causes`` attribution and the requested-vs-installed
+    recompute counters that expose control-plane lag).
+    """
+    rows = []
+    fault_stats: dict[str, Optional[dict]] = {}
+    protocols = sorted({protocol for protocol, _ in result.points})
+    for protocol_value in protocols:
+        for label in result.labels:
+            point = result.points[(protocol_value, label)]
+            rows.append(
+                [
+                    protocol_value,
+                    label,
+                    f"{point.completed}/{point.offered}",
+                    _fct_cell(point.median_fct_ms),
+                    _fct_cell(point.p90_fct_ms),
+                    f"{point.mean_goodput_gbps:.3f}",
+                    f"{point.fct_vs_healthy:.2f}x" if point.fct_vs_healthy is not None else "-",
+                ]
+            )
+            fault_stats[f"{protocol_value} @ {label}"] = point.fault_stats
+    table = _format_table(
+        [
+            "protocol",
+            "cell",
             "completed",
             "median FCT ms",
             "p90 FCT ms",

@@ -76,10 +76,15 @@ class ResilienceResult:
         return self.points[(protocol.value, intensity)]
 
 
-def _resilience_workload(
+def permutation_workload(
     config: ExperimentConfig, topology: FatTreeTopology
 ) -> list[TransferSpec]:
-    """A permutation unicast workload, identical for every protocol and intensity."""
+    """A permutation unicast workload, identical for every protocol and cell.
+
+    Shared by the resilience and correlated experiments -- the paper's
+    fair-comparison requirement is that every protocol and failure cell of
+    a seed sees byte-identical offered traffic.
+    """
     streams = RandomStreams(config.seed)
     rng = streams.stream("resilience")
     arrivals = PoissonArrivals(config.arrival_rate_per_second).times(
@@ -102,12 +107,12 @@ def _resilience_workload(
     ]
 
 
-def _fault_window(config: ExperimentConfig, transfers: list[TransferSpec]) -> tuple[float, float]:
+def fault_window(config: ExperimentConfig, transfers: list[TransferSpec]) -> tuple[float, float]:
     """When faults strike: a window matched to the run's busy period.
 
     The busy period is the arrival span plus a congestion-slack estimate of
     one transfer's service time, so the window tracks how long traffic is
-    actually in flight -- :func:`random_fault_schedule` places fault onsets
+    actually in flight -- the schedule builders place fault onsets
     in the first third of the window, which lands them on live transfers
     rather than an idle or already-drained fabric.
     """
@@ -137,8 +142,8 @@ def expand_resilience_sweep(
     topology = FatTreeTopology(config.fattree_k)
     for seed in range(config.seed, config.seed + num_seeds):
         seed_config = config.with_seed(seed)
-        transfers = _resilience_workload(seed_config, topology)
-        start, duration = _fault_window(seed_config, transfers)
+        transfers = permutation_workload(seed_config, topology)
+        start, duration = fault_window(seed_config, transfers)
         fault_streams = RandomStreams(seed_config.seed)
         for intensity in intensities:
             schedule: FaultSchedule = random_fault_schedule(

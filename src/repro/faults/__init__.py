@@ -4,8 +4,12 @@ The subsystem has two halves:
 
 * :mod:`repro.faults.schedule` -- declarative, seeded, picklable
   :class:`FaultSchedule` value objects (link down/up, link degrade, random
-  loss, switch failure, host slowdown) plus the :func:`random_fault_schedule`
-  generator the resilience experiment parameterises by intensity;
+  loss, switch failure, host slowdown) plus the seeded generators the
+  experiments parameterise: :func:`random_fault_schedule` (independent
+  faults by intensity), :func:`shared_risk_group_schedule` (SRLGs),
+  :func:`rack_power_schedule` (a ToR and all its host links as one unit),
+  :func:`gray_failure_schedule` (low-probability loss smeared across many
+  links, invisible to routing) and :func:`straggler_schedule`;
 * :mod:`repro.faults.injector` -- the :class:`FaultInjector` simulation
   process that executes a schedule against a live network, recomputing
   routes on topology changes and counting every fault-caused packet drop.
@@ -17,12 +21,15 @@ from repro.faults.schedule import (
     FaultKind,
     FaultSchedule,
     fabric_edges,
+    gray_failure_schedule,
     host_slowdown,
     link_degrade,
     link_down,
     link_loss,
     link_up,
+    rack_power_schedule,
     random_fault_schedule,
+    shared_risk_group_schedule,
     straggler_schedule,
     switch_down,
     switch_up,
@@ -34,12 +41,15 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "fabric_edges",
+    "gray_failure_schedule",
     "host_slowdown",
     "link_degrade",
     "link_down",
     "link_loss",
     "link_up",
+    "rack_power_schedule",
     "random_fault_schedule",
+    "shared_risk_group_schedule",
     "straggler_schedule",
     "switch_down",
     "switch_up",

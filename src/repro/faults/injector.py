@@ -8,10 +8,14 @@ the :class:`~repro.network.network.Network` and, for topology-changing kinds
 hops and multicast trees are rebuilt on the surviving topology and the
 number of changed table entries is accumulated in ``reroutes``.
 
-The injector also owns the run's fault accounting: per-kind event counters
-plus the fabric-wide packet-drop counters (packets dropped on dead links,
-by injected random loss, and by failed switches), exported as a plain dict
-by :meth:`stats_dict` so results pickle across worker processes unchanged.
+The injector also owns the run's fault accounting: per-kind event counters,
+per-*cause* counters (which failure model -- ``srlg``, ``rack_power``,
+``gray``, ... -- produced each applied event), routing-convergence counters
+(recomputes requested vs. route tables actually installed, which differ
+when the network models control-plane lag), plus the fabric-wide
+packet-drop counters (packets dropped on dead links, by injected random
+loss, and by failed switches), exported as a plain dict by
+:meth:`stats_dict` so results pickle across worker processes unchanged.
 """
 
 from __future__ import annotations
@@ -41,8 +45,16 @@ class FaultInjector:
         self.switches_failed = 0
         self.switches_restored = 0
         self.hosts_slowed = 0
-        #: total next-hop table entries changed across every recompute
+        #: applied events per schedule-builder cause tag (empty tags skipped)
+        self.cause_counts: dict[str, int] = {}
+        #: total next-hop table entries changed across every installed recompute
         self.reroutes = 0
+        #: topology-changing batches that requested a routing recompute
+        self.recomputes_requested = 0
+        #: recomputed tables actually installed (== requested when the
+        #: network converges instantaneously; fewer when control-plane lag
+        #: outlives the run or a newer recompute supersedes a pending one)
+        self.route_installs = 0
 
     def start(self) -> None:
         """Schedule the fault events (idempotence guarded).
@@ -67,7 +79,15 @@ class FaultInjector:
             self._apply(event)
             recompute = recompute or event.kind in TOPOLOGY_KINDS
         if recompute:
-            self.reroutes += self.network.recompute_routes()
+            self.recomputes_requested += 1
+            # With convergence delay the table install happens later (or
+            # never, if the run ends first); the callback books the changed
+            # entries whenever the control plane actually converges.
+            self.network.recompute_routes(on_installed=self._note_install)
+
+    def _note_install(self, changed_entries: int) -> None:
+        self.reroutes += changed_entries
+        self.route_installs += 1
 
     def _apply(self, event: FaultEvent) -> None:
         network = self.network
@@ -99,14 +119,21 @@ class FaultInjector:
         else:  # pragma: no cover - FaultKind is closed
             raise ValueError(f"unknown fault kind {kind!r}")
         self.events_applied += 1
+        if event.cause:
+            self.cause_counts[event.cause] = self.cause_counts.get(event.cause, 0) + 1
         network.trace.record(
             self.sim.now, f"fault.{kind.value}", target="/".join(event.target),
             severity=event.severity,
         )
 
     def stats_dict(self) -> dict:
-        """Fault accounting for this run as a picklable, mergeable dict."""
-        return {
+        """Fault accounting for this run as a picklable, mergeable dict.
+
+        All values are additive counters so shards merge by summation
+        (:func:`repro.experiments.report.merge_fault_stats`); per-cause
+        counts are flattened to ``cause_<name>`` keys for the same reason.
+        """
+        stats = {
             "events_scheduled": len(self.schedule),
             "events_applied": self.events_applied,
             "links_failed": self.links_failed,
@@ -117,7 +144,12 @@ class FaultInjector:
             "switches_restored": self.switches_restored,
             "hosts_slowed": self.hosts_slowed,
             "reroutes": self.reroutes,
+            "recomputes_requested": self.recomputes_requested,
+            "route_installs": self.route_installs,
             "packets_dropped_link_down": self.network.total_dropped_link_down,
             "packets_dropped_random_loss": self.network.total_dropped_random_loss,
             "packets_dropped_switch_down": self.network.total_dropped_switch_down,
         }
+        for cause in sorted(self.cause_counts):
+            stats[f"cause_{cause}"] = self.cause_counts[cause]
+        return stats

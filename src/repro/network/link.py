@@ -59,6 +59,11 @@ class Link:
             self._down_epochs += 1
         self.up = up
 
+    @property
+    def flaps(self) -> int:
+        """How many times this wire has gone down (up->down transitions)."""
+        return self._down_epochs
+
     def set_loss(self, probability: float, rng: Optional[random.Random]) -> None:
         """Configure elevated random loss (0 restores the loss-free wire).
 
@@ -135,6 +140,11 @@ class Port:
     def busy(self) -> bool:
         """Whether the transmitter is currently serialising a packet."""
         return self._transmitting
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the port currently runs below its design rate (gray failures)."""
+        return self.rate_bps < self.nominal_rate_bps
 
     def set_rate_fraction(self, fraction: float) -> None:
         """Degrade (or restore, with 1.0) the transmit rate to a fraction of nominal.

@@ -10,12 +10,21 @@ It is also the surface the fault-injection subsystem (:mod:`repro.faults`)
 drives: links can be failed/restored/degraded/made lossy, switches failed,
 host NICs slowed, and :meth:`Network.recompute_routes` rebuilds the unicast
 ECMP table and every installed multicast tree on the surviving topology.
+
+Routing convergence is not necessarily instantaneous: with
+``NetworkConfig.convergence_delay_s`` set, a recompute models control-plane
+lag -- the new tables are computed from a snapshot of the failure state at
+detection time but only *installed* after the (optionally seeded-jittered)
+delay, and until then the fabric keeps forwarding on the stale tables,
+black-holing traffic aimed at dead links and switches exactly like a real
+network between failure and reconvergence.  The default of 0 preserves the
+historical instantaneous behaviour byte for byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.network.host import Host
 from repro.network.link import Link, Port
@@ -48,6 +57,13 @@ class NetworkConfig:
     header_queue_capacity_packets: int = 1000
     droptail_capacity_packets: int = 100
     routing_mode: RoutingMode = RoutingMode.PACKET_SPRAY
+    #: control-plane lag: seconds between a topology change being detected
+    #: (``recompute_routes`` called) and the new tables being installed.
+    #: 0 (default) reinstalls instantaneously, the historical behaviour.
+    convergence_delay_s: float = 0.0
+    #: optional seeded jitter: each install's lag is drawn uniformly from
+    #: ``[delay, delay * (1 + jitter)]`` using the network's random streams.
+    convergence_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive("link_rate_bps", self.link_rate_bps)
@@ -58,6 +74,10 @@ class NetworkConfig:
         check_positive("data_queue_capacity_packets", self.data_queue_capacity_packets)
         check_positive("header_queue_capacity_packets", self.header_queue_capacity_packets)
         check_positive("droptail_capacity_packets", self.droptail_capacity_packets)
+        if self.convergence_delay_s < 0:
+            raise ValueError("convergence_delay_s cannot be negative")
+        if self.convergence_jitter < 0:
+            raise ValueError("convergence_jitter cannot be negative")
 
 
 class Network:
@@ -89,6 +109,17 @@ class Network:
         self._directed_ports: dict[tuple[str, str], Port] = {}
         self._failed_edges: set[frozenset[str]] = set()
         self._failed_switches: set[str] = set()
+        #: routing-convergence state: every recompute gets an epoch; a
+        #: pending (delayed) install is skipped if a newer epoch installed
+        #: first, so stale tables never overwrite fresher ones.
+        self._route_epoch = 0
+        self._installed_epoch = 0
+        #: recomputed tables actually installed (delayed or instantaneous)
+        self.route_installs = 0
+        #: lazily built healthy-topology routing table, used as the tree
+        #: fallback when a multicast group is created while a receiver is
+        #: unreachable (see create_multicast_group)
+        self._baseline_routing: Optional[RoutingTable] = None
 
         self._build_nodes()
         self._build_links()
@@ -192,12 +223,31 @@ class Network:
     def create_multicast_group(
         self, group_id: int, source_host: str, receiver_hosts: list[str]
     ) -> MulticastGroup:
-        """Install a multicast group: build its tree and program every switch."""
+        """Install a multicast group: build its tree and program every switch.
+
+        A group created while some receiver is currently unreachable (e.g.
+        its rack lost power the moment the transfer started) falls back to
+        the tree of the *healthy* topology: packets toward the dead part
+        black-hole and are counted by the fabric, and the next routing
+        recompute rebuilds the tree on the surviving graph -- the same
+        contract as a group whose receivers die after creation.
+        """
         if group_id in self._groups:
             raise ValueError(f"multicast group {group_id} already exists")
-        group = build_multicast_tree(
-            self.topology, self.routing_table, group_id, source_host, receiver_hosts
-        )
+        try:
+            group = build_multicast_tree(
+                self.topology, self.routing_table, group_id, source_host, receiver_hosts
+            )
+        except KeyError:
+            if self._baseline_routing is None:
+                self._baseline_routing = RoutingTable(self.topology)
+            group = build_multicast_tree(
+                self.topology, self._baseline_routing, group_id, source_host,
+                receiver_hosts,
+            )
+            self.trace.record(
+                self.sim.now, "network.group_built_on_baseline", group=group_id
+            )
         for node_name, children in group_table_entries(group).items():
             if node_name in self.switches:
                 self.switches[node_name].set_group_ports(group_id, children)
@@ -297,8 +347,19 @@ class Network:
         """Currently failed switches."""
         return frozenset(self._failed_switches)
 
-    def recompute_routes(self) -> int:
-        """Rebuild routing on the surviving topology; returns changed table entries.
+    def recompute_routes(self, on_installed: Optional[Callable[[int], None]] = None) -> int:
+        """Rebuild routing on the surviving topology, honouring convergence lag.
+
+        With ``convergence_delay_s == 0`` (the default) the rebuild installs
+        immediately and the number of changed table entries is returned, as
+        it always was.  With a positive delay this only *snapshots* the
+        failure state (what the control plane detected) and schedules the
+        install after the lag -- the function returns 0 and the fabric keeps
+        forwarding on its stale tables until the install lands, black-holing
+        traffic pointed at dead elements in the meantime.  ``on_installed``
+        (when given) receives the changed-entry count at actual install
+        time, in both modes; a pending install that is superseded by a newer
+        recompute, or outlived by the run, never reports.
 
         The unicast ECMP table is rebuilt excluding failed links and switches
         and re-installed switch by switch (entries for now-unreachable hosts
@@ -308,16 +369,75 @@ class Network:
         toward the dead part are dropped by the fabric) and is retried on the
         next recompute.
         """
-        self.routing_table.rebuild(self._failed_edges, self._failed_switches)
+        self._route_epoch += 1
+        delay = self.config.convergence_delay_s
+        if delay <= 0:
+            self._installed_epoch = self._route_epoch
+            changed = self._install_routes_for(self._failed_edges, self._failed_switches)
+            if on_installed is not None:
+                on_installed(changed)
+            return changed
+        lag = delay
+        if self.config.convergence_jitter > 0:
+            lag *= 1.0 + self.streams.stream("network.convergence").uniform(
+                0.0, self.config.convergence_jitter
+            )
+        self.trace.record(
+            self.sim.now, "network.convergence_pending",
+            epoch=self._route_epoch, lag=lag,
+        )
+        self.sim.schedule(
+            lag,
+            self._install_converged_routes,
+            self._route_epoch,
+            frozenset(self._failed_edges),
+            frozenset(self._failed_switches),
+            on_installed,
+        )
+        return 0
+
+    def _install_converged_routes(
+        self,
+        epoch: int,
+        failed_edges: frozenset[frozenset[str]],
+        failed_switches: frozenset[str],
+        on_installed: Optional[Callable[[int], None]],
+    ) -> None:
+        """Install tables computed from a detection-time snapshot (delayed path)."""
+        if epoch <= self._installed_epoch:
+            # A newer recompute (shorter jittered lag) already installed
+            # fresher tables; installing this stale snapshot would regress.
+            return
+        self._installed_epoch = epoch
+        changed = self._install_routes_for(failed_edges, failed_switches)
+        self.trace.record(
+            self.sim.now, "network.convergence_installed", epoch=epoch, changed=changed
+        )
+        if on_installed is not None:
+            on_installed(changed)
+
+    def _install_routes_for(
+        self,
+        failed_edges: Iterable[frozenset[str]],
+        failed_switches: Iterable[str],
+    ) -> int:
+        """Rebuild + install unicast tables and multicast trees; count changes."""
+        self.routing_table.rebuild(failed_edges, failed_switches)
         changed = 0
         for switch_name, switch in self.switches.items():
-            for host in self.hosts:
-                new_hops = self.routing_table.next_hops_or_empty(switch_name, host.name)
-                if switch.next_hops_toward(host.node_id) != new_hops:
-                    switch.set_next_hops(host.node_id, new_hops)
-                    changed += 1
+            table = {
+                host.node_id: self.routing_table.next_hops_or_empty(switch_name, host.name)
+                for host in self.hosts
+            }
+            changed += switch.replace_unicast_table(table)
         self._reinstall_multicast_groups()
+        self.route_installs += 1
         return changed
+
+    @property
+    def pending_route_installs(self) -> int:
+        """Recomputes whose tables have not been installed (or were superseded) yet."""
+        return self._route_epoch - self._installed_epoch
 
     def _reinstall_multicast_groups(self) -> None:
         for group_id, group in list(self._groups.items()):
@@ -373,3 +493,8 @@ class Network:
     def total_dropped_switch_down(self) -> int:
         """Packets black-holed by failed switches."""
         return sum(switch.dropped_switch_down for switch in self.switches.values())
+
+    @property
+    def degraded_ports(self) -> int:
+        """Directed ports currently running below design rate (gray failures)."""
+        return sum(1 for port in self._directed_ports.values() if port.is_degraded)

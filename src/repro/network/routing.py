@@ -70,6 +70,16 @@ class RoutingTable:
         """The effective (surviving) graph the current routes were computed on."""
         return self._graph
 
+    @property
+    def failed_edges(self) -> frozenset[frozenset[str]]:
+        """The failed links the current routes were computed around."""
+        return self._failed_edges
+
+    @property
+    def failed_nodes(self) -> frozenset[str]:
+        """The failed switches the current routes were computed around."""
+        return self._failed_nodes
+
     def rebuild(
         self,
         failed_edges: Iterable[tuple[str, str]] = (),

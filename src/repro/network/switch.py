@@ -85,6 +85,21 @@ class Switch(Node):
         """Snapshot of the whole unicast table (for reroute diffing and tests)."""
         return dict(self._next_hops)
 
+    def replace_unicast_table(self, table: dict[int, tuple[str, ...]]) -> int:
+        """Install a freshly computed unicast table in one pass.
+
+        Returns the number of entries that actually changed (the routing
+        layer's ``reroutes`` metric).  Destinations absent from ``table``
+        keep their current entry; unreachable destinations must be passed
+        explicitly as empty tuples so stale routes are cleared.
+        """
+        changed = 0
+        for dst_host_id, remote_names in table.items():
+            if self._next_hops.get(dst_host_id, ()) != remote_names:
+                self._next_hops[dst_host_id] = remote_names
+                changed += 1
+        return changed
+
     def set_failed(self, failed: bool) -> None:
         """Fail (or restore) the whole switch.
 

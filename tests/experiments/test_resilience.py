@@ -108,14 +108,14 @@ class TestFaultWindow:
     def test_window_covers_service_time_not_just_arrivals(self):
         """Even a burst of simultaneous arrivals gets a window long enough
         that faults can strike transfers in flight."""
-        from repro.experiments.resilience import _fault_window
+        from repro.experiments.resilience import fault_window
 
         burst = [
             TransferSpec(transfer_id=i, kind=TransferKind.UNICAST, client="h0",
                          peers=("h15",), size_bytes=QUICK.object_bytes, start_time=0.0)
             for i in range(4)
         ]
-        _, duration = _fault_window(QUICK, burst)
+        _, duration = fault_window(QUICK, burst)
         ideal_service = QUICK.object_bytes * 8 / QUICK.link_rate_bps
         assert duration >= ideal_service
 

@@ -45,7 +45,7 @@ def build_network(seed=1, **config_overrides):
 
 
 def arm(sim, network, *events):
-    injector = FaultInjector(sim, network, FaultSchedule(tuple(events)))
+    injector = FaultInjector(sim, network, FaultSchedule.ordered(events))
     injector.start()
     return injector
 

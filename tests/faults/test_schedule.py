@@ -57,12 +57,38 @@ class TestFaultEvent:
 
 
 class TestFaultSchedule:
-    def test_events_sorted_by_time(self):
-        schedule = FaultSchedule(
+    def test_ordered_sorts_out_of_order_events(self):
+        schedule = FaultSchedule.ordered(
             (link_up(2.0, "a", "b"), link_down(1.0, "a", "b"), switch_down(0.5, "s"))
         )
         assert [event.time for event in schedule] == [0.5, 1.0, 2.0]
         assert schedule.last_time == 2.0
+
+    def test_constructor_rejects_out_of_order_events(self):
+        with pytest.raises(ValueError, match="non-decreasing time order"):
+            FaultSchedule((link_up(2.0, "a", "b"), link_down(1.0, "a", "b")))
+
+    def test_constructor_rejects_non_events(self):
+        with pytest.raises(ValueError, match="not a FaultEvent"):
+            FaultSchedule(("not-an-event",))
+
+    def test_constructor_rejects_negative_times(self):
+        # FaultEvent itself rejects negative times, but events restored from
+        # tampered pickles bypass __post_init__ -- the schedule re-checks.
+        rogue = FaultEvent.__new__(FaultEvent)
+        for field_name, value in (
+            ("time", -1.0), ("kind", FaultKind.SWITCH_DOWN),
+            ("target", ("s",)), ("severity", 1.0), ("cause", ""),
+        ):
+            object.__setattr__(rogue, field_name, value)
+        with pytest.raises(ValueError, match="negative time"):
+            FaultSchedule((rogue,))
+
+    def test_ordered_keeps_same_time_batches_stable(self):
+        down_a = link_down(1.0, "a", "b")
+        down_c = link_down(1.0, "c", "d")
+        schedule = FaultSchedule.ordered((switch_down(2.0, "s"), down_a, down_c))
+        assert schedule.events[:2] == (down_a, down_c)
 
     def test_len_bool_and_empty(self):
         assert len(FaultSchedule()) == 0
