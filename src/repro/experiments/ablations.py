@@ -85,7 +85,8 @@ def trimming_ablation(
             trimmed_packets=run.trimmed_packets,
             dropped_packets=run.dropped_packets,
         )
-        for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs))
+        for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs,
+                                                label="ablation-trimming"))
     ]
 
 
@@ -131,7 +132,8 @@ def spraying_ablation(
         for mode in (RoutingMode.PACKET_SPRAY, RoutingMode.ECMP_FLOW, RoutingMode.SINGLE_PATH)
     ]
     points = []
-    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs)):
+    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs,
+                                            label="ablation-spraying")):
         goodputs = run.goodputs_gbps("foreground")
         mean = sum(goodputs) / len(goodputs) if goodputs else 0.0
         points.append(
@@ -227,7 +229,8 @@ def initial_window_ablation(
         for window in window_sizes
     ]
     points = []
-    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs)):
+    for job, run in zip(sweep, execute_jobs(sweep, num_workers=jobs,
+                                            label="ablation-window")):
         goodputs = run.goodputs_gbps("foreground")
         points.append(
             AblationPoint(

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.parallel import RunJob, execute_jobs
+from repro.experiments.parallel import RunJob, execute_jobs, last_profile
 from repro.experiments.report import merge_codec_stats, merge_fault_stats
 from repro.experiments.resilience import fault_window, permutation_workload
 from repro.faults.schedule import (
@@ -96,6 +96,9 @@ class CorrelatedResult:
     points: dict[tuple[str, str], CorrelatedPoint] = field(default_factory=dict)
     #: per-protocol codec counters merged across every cell and seed
     codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
+    #: Executor accounting for the sweep (see
+    #: :class:`~repro.experiments.parallel.ExecutorProfile`).
+    exec_profile: Optional[dict] = None
 
     def point(self, protocol: Protocol, label: str) -> CorrelatedPoint:
         """The summary for one (protocol, cell) pair."""
@@ -247,7 +250,7 @@ def run_correlated(
         if fingerprint not in unique_index:
             unique_index[fingerprint] = len(unique_jobs)
             unique_jobs.append(job)
-    unique_runs = execute_jobs(unique_jobs, num_workers=jobs)
+    unique_runs = execute_jobs(unique_jobs, num_workers=jobs, label="correlated")
     runs = [unique_runs[unique_index[fingerprint]] for fingerprint in fingerprints]
 
     result = CorrelatedResult(config=cfg, labels=labels)
@@ -295,4 +298,6 @@ def run_correlated(
                 for run in by_cell[(protocol.value, label)]
             ]
         )
+    profile = last_profile()
+    result.exec_profile = profile.as_dict() if profile is not None else None
     return result

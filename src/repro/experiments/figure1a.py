@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.metrics import SeriesSummary
-from repro.experiments.parallel import RunJob, execute_jobs
+from repro.experiments.parallel import RunJob, execute_jobs, last_profile
 from repro.experiments.report import merge_codec_stats
 from repro.experiments.runner import RunResult
 from repro.network.topology import FatTreeTopology
@@ -50,6 +50,10 @@ class Figure1aResult:
     runs: dict[str, RunResult] = field(default_factory=dict)
     seed_runs: dict[str, list[RunResult]] = field(default_factory=dict)
     codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
+    #: Executor accounting for the sweep (see
+    #: :class:`~repro.experiments.parallel.ExecutorProfile`); never affects
+    #: the measured series, only explains where the wall clock went.
+    exec_profile: Optional[dict] = None
 
     def summary(self, protocol: Protocol, num_replicas: int) -> SeriesSummary:
         """Summary of one series."""
@@ -173,6 +177,8 @@ def run_figure1a(
     cfg = config or ExperimentConfig.scaled_default()
     result = Figure1aResult(config=cfg)
     sweep = expand_sweep(cfg, replica_counts, protocols, num_seeds)
-    runs = execute_jobs(sweep, num_workers=jobs)
+    runs = execute_jobs(sweep, num_workers=jobs, label="figure1a")
     collect_sweep(result, sweep, runs)
+    profile = last_profile()
+    result.exec_profile = profile.as_dict() if profile is not None else None
     return result

@@ -16,7 +16,7 @@ from typing import Optional
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.figure1a import collect_sweep, expand_sweep
 from repro.experiments.metrics import SeriesSummary
-from repro.experiments.parallel import execute_jobs
+from repro.experiments.parallel import execute_jobs, last_profile
 from repro.experiments.runner import RunResult
 from repro.workloads.spec import TransferKind
 
@@ -42,6 +42,9 @@ class Figure1bResult:
     runs: dict[str, RunResult] = field(default_factory=dict)
     seed_runs: dict[str, list[RunResult]] = field(default_factory=dict)
     codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
+    #: Executor accounting for the sweep (see
+    #: :class:`~repro.experiments.parallel.ExecutorProfile`).
+    exec_profile: Optional[dict] = None
 
     def summary(self, protocol: Protocol, num_senders: int) -> SeriesSummary:
         """Summary of one series."""
@@ -64,6 +67,8 @@ def run_figure1b(
     result = Figure1bResult(config=cfg)
     sweep = expand_sweep(cfg, sender_counts, protocols, num_seeds,
                          kind=TransferKind.FETCH, label_of=series_label)
-    runs = execute_jobs(sweep, num_workers=jobs)
+    runs = execute_jobs(sweep, num_workers=jobs, label="figure1b")
     collect_sweep(result, sweep, runs)
+    profile = last_profile()
+    result.exec_profile = profile.as_dict() if profile is not None else None
     return result

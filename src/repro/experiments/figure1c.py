@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.metrics import aggregate_goodput_gbps, mean_with_confidence
-from repro.experiments.parallel import RunJob, execute_jobs, run_job
+from repro.experiments.parallel import RunJob, execute_jobs, last_profile, run_job
 from repro.experiments.report import merge_codec_stats
 from repro.network.topology import FatTreeTopology
 from repro.sim.randomness import RandomStreams
@@ -48,6 +48,9 @@ class Figure1cResult:
     config: ExperimentConfig
     series: dict[str, list[IncastPoint]] = field(default_factory=dict)
     codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
+    #: Executor accounting for the sweep (see
+    #: :class:`~repro.experiments.parallel.ExecutorProfile`).
+    exec_profile: Optional[dict] = None
 
     def points(self, protocol: Protocol, response_bytes: int) -> list[IncastPoint]:
         """The points of one series."""
@@ -129,7 +132,7 @@ def run_figure1c(
                 for seed in range(cfg.seed, cfg.seed + num_seeds):
                     sweep.append(incast_job(protocol, cfg, num_senders,
                                             response_bytes, seed))
-    runs = execute_jobs(sweep, num_workers=jobs)
+    runs = execute_jobs(sweep, num_workers=jobs, label="figure1c")
 
     goodput_of = {
         job.key: aggregate_goodput_gbps(run.registry, "incast")
@@ -161,4 +164,6 @@ def run_figure1c(
                 )
             result.series[label] = points
             result.codec_stats[label] = merge_codec_stats(stats_by_label.get(label, []))
+    profile = last_profile()
+    result.exec_profile = profile.as_dict() if profile is not None else None
     return result

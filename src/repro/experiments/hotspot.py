@@ -103,7 +103,7 @@ def run_hotspot_experiment(
         for protocol in protocols
     ]
     results: dict[Protocol, HotspotResult] = {}
-    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs)):
+    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs, label="hotspot")):
         goodputs = sorted(run.goodputs_gbps("measured"))
         mean = sum(goodputs) / len(goodputs) if goodputs else 0.0
         measured_records = [r for r in run.registry.records if r.label == "measured"]

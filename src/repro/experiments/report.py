@@ -192,6 +192,59 @@ def format_codec_stats(
     return f"{title}\n{table}"
 
 
+def format_exec_profile(profile: Optional[dict], title: str = "Executor profile") -> str:
+    """Render one sweep's executor accounting as a two-row table.
+
+    Takes the ``exec_profile`` dict a result object carries (an
+    :class:`~repro.experiments.parallel.ExecutorProfile` snapshot) and shows
+    where the sweep's wall clock went and how many bytes crossed the process
+    boundary by pipe vs shared memory.  ``None`` (no profile recorded)
+    renders as a one-line note so callers can print unconditionally.
+    """
+    if not profile:
+        return f"{title}\n  (no executor profile recorded)"
+    def _ms(key: str) -> str:
+        return f"{profile.get(key, 0.0) * 1e3:.1f}"
+    rows = [
+        [
+            str(profile.get("transport", "?")),
+            str(profile.get("workers", 1)),
+            "yes" if profile.get("pool_reused") else "no",
+            str(profile.get("jobs_total", 0)),
+            str(profile.get("chunk_size", 1)),
+            str(profile.get("bytes_shipped", 0)),
+            str(profile.get("shm_bytes", 0)),
+            f"{profile.get('wall_s', 0.0):.2f}",
+            f"{profile.get('run_s', 0.0):.2f}",
+            _ms("prewarm_s"),
+            _ms("pool_spawn_s"),
+            _ms("plans_ship_s"),
+            _ms("serialize_s"),
+            _ms("merge_s"),
+        ]
+    ]
+    table = _format_table(
+        [
+            "transport",
+            "workers",
+            "reused",
+            "jobs",
+            "chunk",
+            "pipe B",
+            "shm B",
+            "wall s",
+            "run s",
+            "prewarm ms",
+            "spawn ms",
+            "plans ms",
+            "serialize ms",
+            "merge ms",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}"
+
+
 def merge_fault_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
     """Aggregate per-run fault statistics across the shards of a sweep.
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig, Protocol
-from repro.experiments.parallel import RunJob, execute_jobs
+from repro.experiments.parallel import RunJob, execute_jobs, last_profile
 from repro.experiments.report import merge_codec_stats, merge_fault_stats
 from repro.faults.schedule import FaultSchedule, random_fault_schedule
 from repro.network.topology import FatTreeTopology
@@ -70,6 +70,9 @@ class ResilienceResult:
     points: dict[tuple[str, float], ResiliencePoint] = field(default_factory=dict)
     #: per-protocol codec counters merged across every intensity and seed
     codec_stats: dict[str, Optional[dict]] = field(default_factory=dict)
+    #: Executor accounting for the sweep (see
+    #: :class:`~repro.experiments.parallel.ExecutorProfile`).
+    exec_profile: Optional[dict] = None
 
     def point(self, protocol: Protocol, intensity: float) -> ResiliencePoint:
         """The summary for one (protocol, intensity) cell."""
@@ -182,7 +185,7 @@ def run_resilience(
     cfg = config or ExperimentConfig.scaled_default()
     levels = tuple(sorted(set(intensities) | {0.0}))
     sweep = expand_resilience_sweep(cfg, levels, protocols, num_seeds)
-    runs = execute_jobs(sweep, num_workers=jobs)
+    runs = execute_jobs(sweep, num_workers=jobs, label="resilience")
 
     result = ResilienceResult(config=cfg, intensities=levels)
     by_cell: dict[tuple[str, float], list] = {}
@@ -232,4 +235,6 @@ def run_resilience(
                 for run in by_cell[(protocol.value, intensity)]
             ]
         )
+    profile = last_profile()
+    result.exec_profile = profile.as_dict() if profile is not None else None
     return result

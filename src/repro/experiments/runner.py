@@ -66,6 +66,41 @@ class RunResult:
         """Fraction of offered transfers that completed before the run ended."""
         return self.registry.completion_fraction()
 
+    def canonical_dict(self) -> dict:
+        """A plain-data snapshot of everything deterministic about the run.
+
+        Excludes ``wall_time_s`` (measured, never reproducible) and the
+        trace.  Tests and benchmarks serialise this to assert the executor's
+        determinism contract -- identical for any ``--jobs N``, transport and
+        chunking -- by byte equality.  Whole-``RunResult`` pickles are *not*
+        byte-stable across process boundaries (pickle encodes object
+        identity, e.g. a label string shared with an enum value, which a
+        round trip does not preserve); this snapshot compares by value only.
+        """
+        return {
+            "protocol": self.protocol.value,
+            "sim_time_s": self.sim_time_s,
+            "events_processed": self.events_processed,
+            "trimmed_packets": self.trimmed_packets,
+            "dropped_packets": self.dropped_packets,
+            "num_hosts": self.num_hosts,
+            "metadata": dict(self.metadata),
+            "codec_stats": self.codec_stats,
+            "fault_stats": self.fault_stats,
+            "transfers": [
+                {
+                    "transfer_id": record.transfer_id,
+                    "transfer_bytes": record.transfer_bytes,
+                    "start_time": record.start_time,
+                    "completion_time": record.completion_time,
+                    "protocol": record.protocol,
+                    "label": record.label,
+                    "metadata": dict(record.metadata),
+                }
+                for record in self.registry.records
+            ],
+        }
+
     def goodputs_gbps(self, label: Optional[str] = "foreground") -> list[float]:
         """Goodputs of completed transfers with the given label (None = all)."""
         return self.registry.goodputs_gbps(label)

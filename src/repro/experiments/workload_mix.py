@@ -89,7 +89,7 @@ def run_workload_mix(
         for protocol in protocols
     ]
     results: dict[Protocol, WorkloadMixResult] = {}
-    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs)):
+    for protocol, run in zip(protocols, execute_jobs(sweep, num_workers=jobs, label="workload-mix")):
         short_fcts = [
             record.flow_completion_time * 1e3
             for record in run.registry.completed_records

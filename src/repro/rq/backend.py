@@ -462,3 +462,65 @@ def prewarm_decode_plans(
             store.add(key, plan)
             break
     return store
+
+
+#: Per-K cap on pre-warmed loss patterns.  Singletons always fit (K of
+#: them); the pair budget bounds the quadratic tail for large blocks so
+#: pre-warming stays a fraction of the sweep it accelerates.
+DEFAULT_PREWARM_PATTERNS = 192
+
+
+def common_loss_patterns(
+    k: int, max_missing: int = 2, budget: Optional[int] = DEFAULT_PREWARM_PATTERNS
+) -> list[tuple[int, ...]]:
+    """The most common missing-source patterns of a K-symbol block.
+
+    Under independent per-packet loss every singleton is more likely than
+    any pair, so patterns are ordered all singletons first, then pairs in
+    lexicographic order, truncated to ``budget`` (``None`` = no cap).  The
+    order is deterministic -- the executor's jobs-N determinism contract
+    extends to which plans get pre-warmed.
+    """
+    if max_missing < 1:
+        return []
+    patterns: list[tuple[int, ...]] = [(esi,) for esi in range(k)]
+    if max_missing >= 2:
+        for first in range(k):
+            if budget is not None and len(patterns) >= budget:
+                break
+            for second in range(first + 1, k):
+                if budget is not None and len(patterns) >= budget:
+                    break
+                patterns.append((first, second))
+    if budget is not None:
+        patterns = patterns[:budget]
+    return patterns
+
+
+def prewarm_canonical_decode_plans(
+    k_values: Iterable[int],
+    store: Optional[PlanStore] = None,
+    max_missing: int = 2,
+    budget_per_k: Optional[int] = DEFAULT_PREWARM_PATTERNS,
+) -> PlanStore:
+    """Pre-warm canonical decode plans for the common loss patterns of each K.
+
+    For every block size and every pattern from :func:`common_loss_patterns`
+    this synthesises the received-ESI set a receiver would hold after losing
+    exactly those sources -- the surviving sources plus the first
+    ``len(missing) + 2`` repair ESIs, enough headroom for the candidate
+    ladder to widen past a singular minimal system -- and stores the first
+    non-singular canonical plan.  Keys are exactly what a live
+    ``CodecContext(canonical_decode_plans=True)`` decode of that pattern
+    looks up, so a lossy sweep's workers start with their hot paths solved.
+    """
+    store = store if store is not None else PlanStore()
+    for k in sorted(set(k_values)):
+        esi_sets = []
+        for missing in common_loss_patterns(k, max_missing=max_missing, budget=budget_per_k):
+            gone = set(missing)
+            surviving = [esi for esi in range(k) if esi not in gone]
+            repairs = list(range(k, k + len(missing) + 2))
+            esi_sets.append(surviving + repairs)
+        prewarm_decode_plans(k, esi_sets, store=store, canonical=True)
+    return store

@@ -18,8 +18,10 @@ from repro.experiments.config import ExperimentConfig, Protocol
 from repro.experiments.figure1a import run_figure1a
 from repro.experiments.parallel import (
     RunJob,
+    available_cpus,
     default_plan_cache_path,
     execute_jobs,
+    last_profile,
     plan_store_for_jobs,
     resolve_jobs,
     run_job,
@@ -205,11 +207,19 @@ class TestResolveJobs:
         assert resolve_jobs(3) == 3
         assert resolve_jobs("5") == 5
 
-    def test_auto_resolves_to_cpu_count(self):
+    def test_auto_resolves_to_available_cpus(self):
+        # Affinity-aware, not raw cpu_count: a taskset/cgroup-limited runner
+        # must not spawn more workers than it can actually schedule.
+        assert resolve_jobs("auto") == available_cpus()
+        assert resolve_jobs(" AUTO ") == resolve_jobs("auto")
+
+    def test_available_cpus_respects_affinity(self):
         import os
 
-        assert resolve_jobs("auto") == max(1, os.cpu_count() or 1)
-        assert resolve_jobs(" AUTO ") == resolve_jobs("auto")
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == max(1, len(os.sched_getaffinity(0)))
+        else:  # pragma: no cover - non-Linux
+            assert available_cpus() == max(1, os.cpu_count() or 1)
 
     def test_invalid_values_rejected(self):
         with pytest.raises(ValueError):
@@ -242,6 +252,39 @@ class TestProgressLogging:
         execute_jobs(jobs, num_workers=2,
                      progress=lambda i, n, job, run: calls.append(i))
         assert calls == [0, 1, 2]
+
+
+class TestExecutorProfile:
+    def test_sequential_run_records_inline_profile(self):
+        jobs = _payload_jobs(seeds=(1,))
+        execute_jobs(jobs, num_workers=1, label="unit")
+        profile = last_profile()
+        assert profile is not None
+        assert profile.transport == "inline"
+        assert profile.label == "unit"
+        assert profile.jobs_total == 1
+        assert profile.bytes_shipped == 0
+        assert profile.run_s > 0
+        assert profile.wall_s >= profile.run_s
+
+    def test_profile_round_trips_through_as_dict(self):
+        jobs = _payload_jobs(seeds=(1,))
+        execute_jobs(jobs, num_workers=1)
+        snapshot = last_profile().as_dict()
+        for key in ("transport", "workers", "jobs_total", "bytes_shipped",
+                    "shm_bytes", "prewarm_s", "pool_spawn_s", "worker_init_s",
+                    "plans_ship_s", "serialize_s", "merge_s", "run_s", "wall_s",
+                    "cpu_count"):
+            assert key in snapshot
+
+    def test_format_exec_profile_renders_and_handles_none(self):
+        from repro.experiments.report import format_exec_profile
+
+        jobs = _payload_jobs(seeds=(1,))
+        execute_jobs(jobs, num_workers=1)
+        table = format_exec_profile(last_profile().as_dict())
+        assert "transport" in table and "inline" in table
+        assert "no executor profile" in format_exec_profile(None)
 
 
 class TestPersistentPlanCache:
@@ -315,13 +358,19 @@ class TestCliJobs:
         assert args.jobs == 4
         assert args.seeds == 2
 
-    def test_jobs_auto_parses_to_cpu_count(self):
-        import os
-
+    def test_jobs_auto_parses_to_available_cpus(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["figure1a", "--jobs", "auto"])
-        assert args.jobs == max(1, os.cpu_count() or 1)
+        assert args.jobs == available_cpus()
+
+    def test_shm_and_chunk_flags_parse(self):
+        from repro.cli import build_parser
+
+        assert build_parser().parse_args(["mix"]).shm is None
+        assert build_parser().parse_args(["mix", "--shm"]).shm is True
+        assert build_parser().parse_args(["mix", "--no-shm"]).shm is False
+        assert build_parser().parse_args(["mix", "--chunk", "3"]).chunk == 3
 
     def test_jobs_garbage_rejected(self):
         from repro.cli import build_parser
