@@ -10,6 +10,7 @@ Usage (``python -m repro`` and ``python -m repro.cli`` are equivalent)::
     python -m repro mix
     python -m repro resilience --intensities 0 0.5 1.0
     python -m repro correlated --srlg-sizes 1 3 --gray-loss 0.01 0.05
+    python -m repro incast --fanins 4 8 15 --response-kb 64
     python -m repro all --fattree-k 4 --sessions 24
 
 Each command prints the same text table the corresponding benchmark produces,
@@ -52,11 +53,13 @@ from repro.experiments.parallel import (
     set_transport,
 )
 from repro.experiments.correlated import run_correlated
+from repro.experiments.incast import run_incast
 from repro.experiments.report import (
     format_ablation,
     format_codec_stats,
     format_correlated,
     format_figure1c,
+    format_incast,
     format_overhead,
     format_rank_figure,
     format_resilience,
@@ -151,6 +154,16 @@ def _srlg_size_type(value: str) -> int:
     if size < 1:
         raise argparse.ArgumentTypeError(f"SRLG size must be at least 1, got {value}")
     return size
+
+
+def _fanin_type(value: str) -> int:
+    try:
+        fanin = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"fan-in must be an integer, got {value!r}")
+    if fanin < 1:
+        raise argparse.ArgumentTypeError(f"fan-in must be at least 1, got {value}")
+    return fanin
 
 
 def _delay_ms_type(value: str) -> float:
@@ -280,6 +293,17 @@ def _cmd_correlated(args: argparse.Namespace) -> str:
     return format_correlated(result) + "\n\n" + format_codec_stats(result.codec_stats)
 
 
+def _cmd_incast(args: argparse.Namespace) -> str:
+    result = run_incast(
+        _build_config(args),
+        fanins=tuple(args.fanins),
+        response_bytes=args.incast_response_kb * KILOBYTE,
+        num_seeds=_seeds(args),
+        jobs=args.jobs,
+    )
+    return format_incast(result) + "\n\n" + format_codec_stats(result.codec_stats)
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     return "\n\n".join(
         [
@@ -291,6 +315,7 @@ def _cmd_all(args: argparse.Namespace) -> str:
             _cmd_mix(args),
             _cmd_resilience(args),
             _cmd_correlated(args),
+            _cmd_incast(args),
         ]
     )
 
@@ -313,6 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
          "path-resilience sweep under injected faults"),
         ("correlated", _cmd_correlated,
          "correlated/gray failures with routing-convergence delay"),
+        ("incast", _cmd_incast,
+         "incast fan-in sweep with ECN/TFRC congestion reaction on vs off"),
         ("all", _cmd_all, "everything above in sequence"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
@@ -320,7 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
         # --seeds only applies to the multi-seed sweeps; ablations/hotspot/mix
         # are single-seed by design, so they simply don't accept the flag.
-        if name in ("figure1a", "figure1b", "figure1c", "resilience", "correlated", "all"):
+        if name in ("figure1a", "figure1b", "figure1c", "resilience", "correlated",
+                    "incast", "all"):
             sub.add_argument("--seeds", type=int, default=None,
                              help="repetition seeds per series (default: 1; figure1c: 3)")
         if name in ("figure1c", "all"):
@@ -348,6 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="control-plane convergence lags (milliseconds) to "
                                   "replay the reference SRLG event under; 0 = "
                                   "instantaneous reconvergence")
+        if name in ("incast", "all"):
+            # `all` already owns --response-kb (figure1c's list); the incast
+            # episode size therefore gets its own destination, spelled
+            # --response-kb on the standalone subcommand for symmetry.
+            flag = "--response-kb" if name == "incast" else "--incast-response-kb"
+            sub.add_argument("--fanins", type=_fanin_type, nargs="+",
+                             default=[4, 8, 15], metavar="N",
+                             help="worker fan-ins to sweep (each crossed with the "
+                                  "congestion-reaction loop off and on)")
+            sub.add_argument(flag, dest="incast_response_kb", type=int, default=64,
+                             metavar="KB",
+                             help="per-worker incast response size in kilobytes")
     return parser
 
 

@@ -160,13 +160,23 @@ class PolyraptorAgent:
         """Whether a receiver session exists for the given id."""
         return session_id in self._receivers
 
+    @property
+    def all_sender_sessions(self) -> list[SenderSession]:
+        """Every sender session hosted on this agent (stats collection)."""
+        return list(self._senders.values())
+
+    @property
+    def all_receiver_sessions(self) -> list[ReceiverSession]:
+        """Every receiver session hosted on this agent (stats collection)."""
+        return list(self._receivers.values())
+
     # Packet handling ------------------------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> None:
         """Dispatch one arriving Polyraptor packet."""
         payload = packet.payload
         if isinstance(payload, SymbolPayload):
-            self._on_symbol_packet(payload, packet.trimmed)
+            self._on_symbol_packet(payload, packet)
         elif isinstance(payload, PullPayload):
             session = self._senders.get(payload.session_id)
             if session is not None:
@@ -184,7 +194,7 @@ class PolyraptorAgent:
         else:
             raise TypeError(f"unexpected Polyraptor payload: {payload!r}")
 
-    def _on_symbol_packet(self, payload: SymbolPayload, trimmed: bool) -> None:
+    def _on_symbol_packet(self, payload: SymbolPayload, packet: Packet) -> None:
         session = self._receivers.get(payload.session_id)
         if session is None:
             # Push sessions create receiver state on first contact.
@@ -195,7 +205,13 @@ class PolyraptorAgent:
                 expected_senders=[payload.sender_host],
             )
             self._receivers[payload.session_id] = session
-        session.on_symbol(payload, trimmed)
+        session.on_symbol(
+            payload,
+            packet.trimmed,
+            ce=packet.ce,
+            multicast=packet.is_multicast,
+            sent_at=packet.created_at,
+        )
 
     def _on_request(self, request: RequestPayload) -> None:
         if request.session_id in self._senders:

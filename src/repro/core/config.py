@@ -95,6 +95,22 @@ class PolyraptorConfig:
     startup_retry_limit: int = 8
     straggler_detection: bool = False
     straggler_lag_symbols: int = 12
+    #: TFRC pacing: when True, each receiver's pull pacer and each sender's
+    #: initial window are clocked by an equation-based
+    #: :class:`repro.transport.tfrc.TfrcController` fed by CE marks, trims
+    #: and RTT samples, instead of the fixed one-symbol-serialization-time
+    #: cadence.  With no congestion signals the allowed rate equals the
+    #: line rate, so a clean path behaves identically.
+    tfrc_pacing: bool = False
+    #: gray-failure detection: detach receivers whose per-path EWMA loss
+    #: estimate (from symbol-sequence gaps) exceeds ``gray_loss_threshold``,
+    #: exactly like lag-based straggler detachment.
+    gray_detection: bool = False
+    gray_loss_threshold: float = 0.05
+    #: symbols per loss-estimation window (sequence-gap accounting).
+    gray_window_symbols: int = 32
+    #: EWMA weight of the newest per-window loss sample.
+    gray_ewma_weight: float = 0.3
     codec_backend: str = "planned"
     codec_kernel: str = "auto"
 
@@ -123,6 +139,11 @@ class PolyraptorConfig:
         check_non_negative("done_retry_limit", self.done_retry_limit)
         check_non_negative("startup_retry_limit", self.startup_retry_limit)
         check_positive("straggler_lag_symbols", self.straggler_lag_symbols)
+        if not (0.0 < self.gray_loss_threshold < 1.0):
+            raise ValueError("gray_loss_threshold must be in (0, 1)")
+        check_positive("gray_window_symbols", self.gray_window_symbols)
+        if not (0.0 < self.gray_ewma_weight <= 1.0):
+            raise ValueError("gray_ewma_weight must be in (0, 1]")
 
     @property
     def symbol_packet_bytes(self) -> int:

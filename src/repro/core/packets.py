@@ -38,6 +38,10 @@ class SymbolPayload:
     num_blocks: int
     object_bytes: int
     data: Optional[bytes] = None
+    #: per-(session, sender) emission counter; receivers difference it to
+    #: estimate per-path loss (gray-failure detection) without any feedback
+    #: from the fabric.
+    sequence: int = 0
 
     @property
     def is_source_symbol(self) -> bool:
@@ -53,6 +57,12 @@ class PullPayload:
     receiver_host: int
     pull_sequence: int
     block_hint: Optional[int] = None
+    #: congestion signals (CE marks + trims) the receiver saw from this
+    #: sender since its previous pull -- the fountain's ECN echo.
+    congestion_echo: int = 0
+    #: the receiver's current EWMA loss estimate for the path from this
+    #: sender (gray-failure signal; 0.0 while the path looks clean).
+    loss_estimate: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from repro.core.config import PolyraptorConfig
 from repro.network.host import Host
 from repro.network.packet import Packet
 from repro.sim.engine import Simulator
+from repro.transport.tfrc import TfrcController
 from repro.utils.units import serialization_delay
 
 #: A deferred pull: a callable that builds the pull packet at send time (so
@@ -35,7 +36,16 @@ PullBuilder = Callable[[], Optional[Packet]]
 
 
 class PullPacer:
-    """One pull queue per receiving host, shared by all of its sessions."""
+    """One pull queue per receiving host, shared by all of its sessions.
+
+    With ``PolyraptorConfig.tfrc_pacing`` the pacer carries a host-level
+    :class:`~repro.transport.tfrc.TfrcController` (``self.tfrc``) that the
+    host's receiver sessions feed with CE marks, trims and RTT samples; the
+    inter-pull gap then stretches to the controller's allowed rate.  Since
+    each pull elicits one symbol, pacing pulls *is* pacing the sender.  With
+    no congestion signals the allowed rate is the line rate and the cadence
+    is the historical one-serialization-time.
+    """
 
     def __init__(self, sim: Simulator, host: Host, config: PolyraptorConfig) -> None:
         self._sim = sim
@@ -44,6 +54,12 @@ class PullPacer:
         self.pull_interval_s = serialization_delay(
             config.symbol_packet_bytes, host.link_rate_bps
         )
+        self.tfrc: Optional[TfrcController] = None
+        if config.tfrc_pacing:
+            self.tfrc = TfrcController(
+                segment_bytes=config.symbol_packet_bytes,
+                max_rate_bps=host.link_rate_bps,
+            )
         self._queues: dict[int, deque[PullBuilder]] = {}
         self._round_robin: deque[int] = deque()
         self._pacing = False
@@ -108,6 +124,13 @@ class PullPacer:
             self.pulls_sent += 1
         else:
             self.pulls_discarded += 1
-        # Pace the next pull one data-packet time later, even if the builder
+        # Pace the next pull one data-packet time later (stretched to the
+        # TFRC-allowed rate when rate control is on), even if the builder
         # declined to send (its slot is spent either way).
-        self._sim.schedule(self.pull_interval_s, self._send_next)
+        self._sim.schedule(self.current_interval_s(), self._send_next)
+
+    def current_interval_s(self) -> float:
+        """The inter-pull gap in force right now."""
+        if self.tfrc is None:
+            return self.pull_interval_s
+        return max(self.pull_interval_s, self.tfrc.send_interval_s())

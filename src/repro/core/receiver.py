@@ -32,6 +32,7 @@ from repro.core.packets import (
     RequestPayload,
     SymbolPayload,
 )
+from repro.core.straggler import PathLossEstimator
 from repro.network.packet import Packet, make_control_packet
 from repro.rq.block import EncodedSymbol, ObjectDecoder, partition_object
 from repro.rq.decoder import DecodeFailure
@@ -81,7 +82,19 @@ class ReceiverSession:
         self.duplicate_symbols = 0
         self.stall_events = 0
         self.done_retries = 0
+        self.ce_received = 0
         self._done_acked: set[int] = set()
+
+        #: per-path loss state, keyed by (sender, stream) where stream is
+        #: ``None`` for the sender's multicast emission stream and this
+        #: host's id for symbols the sender unicast to us -- the two streams
+        #: carry independent sequence counters.  The estimate echoed back on
+        #: pulls is the one of the stream that delivered most recently.
+        self._loss_estimators: dict[tuple[int, Optional[int]], PathLossEstimator] = {}
+        self._last_stream: dict[int, Optional[int]] = {}
+        #: congestion signals (CE marks + trims) seen per sender since the
+        #: last pull we built toward that sender.
+        self._congestion_since_pull: dict[int, int] = {}
 
         self._stall_timer = Timer(agent.sim, self._on_stall)
         self._stall_timer.start(self.config.stall_timeout_s)
@@ -115,12 +128,27 @@ class ReceiverSession:
 
     # Symbol handling ----------------------------------------------------------------
 
-    def on_symbol(self, payload: SymbolPayload, trimmed: bool) -> None:
-        """Process one arriving symbol packet (full or trimmed)."""
+    def on_symbol(
+        self,
+        payload: SymbolPayload,
+        trimmed: bool,
+        ce: bool = False,
+        multicast: bool = False,
+        sent_at: float = 0.0,
+    ) -> None:
+        """Process one arriving symbol packet (full or trimmed).
+
+        ``ce`` is the packet's CE mark, ``multicast`` whether it travelled
+        the sender's multicast stream (its sequence counter is separate from
+        the unicast one), ``sent_at`` the sender-side emission time (0.0
+        when unknown) used for RTT samples.
+        """
         if self.completed:
             return
         self._known_senders.add(payload.sender_host)
         self._stall_timer.restart(self.config.stall_timeout_s)
+        self._account_path(payload, trimmed=trimmed, ce=ce, multicast=multicast,
+                           sent_at=sent_at)
 
         if trimmed:
             # The payload was cut by a switch; the header alone still triggers
@@ -132,6 +160,55 @@ class ReceiverSession:
                 self._finish()
                 return
         self._request_more(payload.sender_host)
+
+    def _account_path(
+        self,
+        payload: SymbolPayload,
+        trimmed: bool,
+        ce: bool,
+        multicast: bool,
+        sent_at: float,
+    ) -> None:
+        """Fold one arrival into loss estimation, ECN echo state and TFRC.
+
+        Pure bookkeeping: no events are scheduled and no packets sent, so
+        runs with all congestion features off stay byte-identical.
+        """
+        sender = payload.sender_host
+        stream: Optional[int] = None if multicast else self.agent.host.node_id
+        estimator = self._loss_estimators.get((sender, stream))
+        if estimator is None:
+            estimator = PathLossEstimator(
+                window_symbols=self.config.gray_window_symbols,
+                ewma_weight=self.config.gray_ewma_weight,
+            )
+            self._loss_estimators[(sender, stream)] = estimator
+        estimator.on_symbol(payload.sequence)
+        self._last_stream[sender] = stream
+        if ce:
+            self.ce_received += 1
+        if ce or trimmed:
+            self._congestion_since_pull[sender] = (
+                self._congestion_since_pull.get(sender, 0) + 1
+            )
+        tfrc = self.agent.pacer.tfrc
+        if tfrc is not None:
+            tfrc.on_packet()
+            if sent_at > 0.0:
+                tfrc.on_rtt_sample(2.0 * (self.agent.sim.now - sent_at))
+            if ce or trimmed:
+                # Congestion signals only: a sequence gap under packet spray
+                # is usually reordering, and non-congestive path loss is the
+                # gray-detection side's job, not the rate controller's.
+                tfrc.on_congestion(self.agent.sim.now)
+
+    def path_loss_estimate(self, sender: int) -> float:
+        """The EWMA loss estimate for the most recently used stream of a sender."""
+        stream = self._last_stream.get(sender)
+        if sender not in self._last_stream:
+            return 0.0
+        estimator = self._loss_estimators.get((sender, stream))
+        return estimator.loss_estimate if estimator is not None else 0.0
 
     def _record_symbol(self, payload: SymbolPayload) -> None:
         block = payload.block_number
@@ -183,6 +260,8 @@ class ReceiverSession:
             receiver_host=self.agent.host.node_id,
             pull_sequence=self._pull_sequence,
             block_hint=self.lowest_incomplete_block(),
+            congestion_echo=self._congestion_since_pull.pop(target_sender, 0),
+            loss_estimate=self.path_loss_estimate(target_sender),
         )
         return make_control_packet(
             protocol=self.agent.PROTOCOL,

@@ -27,6 +27,7 @@ from repro.core.straggler import StragglerPolicy
 from repro.network.packet import Packet, PacketKind, make_control_packet
 from repro.rq.block import ObjectEncoder, partition_object
 from repro.sim.process import Timer
+from repro.transport.tfrc import TfrcController
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.agent import PolyraptorAgent
@@ -88,6 +89,20 @@ class SenderSession:
         self._last_hint: dict[int, Optional[int]] = {r: None for r in receiver_host_ids}
         self._default_hint: Optional[int] = None
         self.straggler_policy = StragglerPolicy.from_config(self.config)
+        #: latest per-receiver loss estimate echoed on pulls (gray detection)
+        self._loss_estimates: dict[int, float] = {}
+        #: per-stream emission counters stamped onto SymbolPayload.sequence:
+        #: key None = the multicast stream, receiver id = its unicast stream
+        self._sequence_streams: dict[Optional[int], int] = {}
+
+        #: equation-based pacing of the initial window (pulls clock the rest)
+        self.tfrc: Optional[TfrcController] = None
+        if self.config.tfrc_pacing:
+            self.tfrc = TfrcController(
+                segment_bytes=self.config.symbol_packet_bytes,
+                max_rate_bps=agent.host.link_rate_bps,
+            )
+        self._paced_window: deque = deque()
 
         self._encoder: Optional[ObjectEncoder] = None
         if self.config.carry_payload:
@@ -110,6 +125,9 @@ class SenderSession:
         self.pulls_received = 0
         self.multicast_rounds = 0
         self.detached_count = 0
+        #: receivers detached because their echoed path-loss estimate crossed
+        #: the gray threshold (subset of ``detached_count``)
+        self.gray_detected = 0
         #: startup-stall recovery: a receiver that never gets a single
         #: symbol -- e.g. its (or this sender's) rack lost power the moment
         #: the session started -- does not even know the session exists, so
@@ -141,10 +159,27 @@ class SenderSession:
         if self.num_senders > 1 and self.config.divide_initial_window_among_senders:
             window = max(1, math.ceil(window / self.num_senders))
         picks = [self._next_symbol(None) for _ in range(window)]
-        for (block, esi), data in zip(picks, self._batch_payloads(picks)):
-            self._emit_symbol(block, esi, data=data)
+        emissions = list(zip(picks, self._batch_payloads(picks)))
+        if self.tfrc is None:
+            for (block, esi), data in emissions:
+                self._emit_symbol(block, esi, data=data)
+        else:
+            # TFRC pacing: the window leaves at the controller's allowed
+            # rate (the line rate until congestion signals arrive) instead
+            # of as one back-to-back burst into the NIC queue.
+            self._paced_window.extend(emissions)
+            self._emit_paced_window()
         if self.config.startup_retry_limit > 0:
             self._startup_timer.start(self.config.stall_timeout_s)
+
+    def _emit_paced_window(self) -> None:
+        """Emit the next initial-window symbol at the TFRC-allowed rate."""
+        if self.completed or not self._paced_window:
+            return
+        (block, esi), data = self._paced_window.popleft()
+        self._emit_symbol(block, esi, data=data)
+        if self._paced_window:
+            self.agent.sim.schedule(self.tfrc.send_interval_s(), self._emit_paced_window)
 
     def on_pull(self, pull: PullPayload) -> None:
         """Handle a pull request from a receiver."""
@@ -155,6 +190,11 @@ class SenderSession:
             return
         self.pulls_received += 1
         receiver = pull.receiver_host
+        self._loss_estimates[receiver] = pull.loss_estimate
+        if self.tfrc is not None:
+            self.tfrc.on_packet()
+            if pull.congestion_echo > 0:
+                self.tfrc.on_congestion(self.agent.sim.now)
         if receiver in self._done_receivers:
             return
         if not self.is_multicast:
@@ -250,6 +290,17 @@ class SenderSession:
         if data is None and self._encoder is not None:
             data = self._encoder.symbol(block, esi).data
         k = self.oti.block_symbol_count(block)
+        if unicast_to is None and self.is_multicast:
+            destination = None
+            group = self.multicast_group
+        else:
+            destination = unicast_to if unicast_to is not None else self.receiver_host_ids[0]
+            group = None
+        # One emission counter per stream (multicast vs each unicast leg):
+        # receivers difference consecutive values to estimate path loss.
+        stream = destination
+        sequence = self._sequence_streams.get(stream, 0) + 1
+        self._sequence_streams[stream] = sequence
         payload = SymbolPayload(
             session_id=self.session_id,
             sender_host=self.agent.host.node_id,
@@ -259,13 +310,8 @@ class SenderSession:
             num_blocks=self.oti.num_source_blocks,
             object_bytes=self.object_bytes,
             data=data,
+            sequence=sequence,
         )
-        if unicast_to is None and self.is_multicast:
-            destination = None
-            group = self.multicast_group
-        else:
-            destination = unicast_to if unicast_to is not None else self.receiver_host_ids[0]
-            group = None
         packet = Packet(
             protocol=self.agent.PROTOCOL,
             src=self.agent.host.node_id,
@@ -276,6 +322,7 @@ class SenderSession:
             flow_id=self.session_id,
             header_bytes=self.config.header_bytes,
             payload=payload,
+            created_at=self.agent.sim.now,
         )
         self.agent.host.send(packet)
         self.symbols_sent += 1
@@ -309,22 +356,29 @@ class SenderSession:
             self.multicast_rounds += 1
 
     def _detach_stragglers(self) -> None:
-        if not self.straggler_policy.enabled:
+        policy = self.straggler_policy
+        if not (policy.enabled or policy.loss_detection):
             return
         attached = {
             r for r in self._active_receivers if r not in self._detached_receivers
         }
-        stragglers = self.straggler_policy.find_stragglers(self._pulls_by_receiver, attached)
-        for receiver in stragglers:
+        stragglers = policy.find_stragglers(self._pulls_by_receiver, attached)
+        lossy = policy.find_lossy(self._loss_estimates, attached) - stragglers
+        self.gray_detected += len(lossy)
+        # Iterate lag stragglers in set order (the historical behaviour, kept
+        # so pre-existing straggler scenarios replay byte-identically), then
+        # the gray-lossy receivers in sorted order.
+        for receiver in list(stragglers) + sorted(lossy):
             self._detached_receivers.add(receiver)
             self.detached_count += 1
-            # Serve any credits the straggler had accumulated as unicast symbols.
+            # Serve any credits the detached receiver had accumulated as
+            # unicast symbols.
             credits = self._pull_credits.get(receiver, 0)
             self._pull_credits[receiver] = 0
             for _ in range(credits):
                 block, esi = self._next_symbol(self._last_hint.get(receiver))
                 self._emit_symbol(block, esi, unicast_to=receiver)
-        if stragglers:
+        if stragglers or lossy:
             # Aggregation may now be unblocked for the remaining receivers.
             self._run_multicast_rounds()
 

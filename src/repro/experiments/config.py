@@ -60,6 +60,17 @@ class ExperimentConfig:
     convergence_delay_s: float = 0.0
     #: seeded jitter fraction on the convergence lag (see NetworkConfig).
     convergence_jitter: float = 0.0
+    #: ECN/PCN marking on switch queues (off = the historical fabric,
+    #: byte-identical to pre-marking runs).  Applies to both protocols'
+    #: fabrics and rides inside RunJob configs.
+    ecn_enabled: bool = False
+    #: instantaneous marking threshold in packets; ``None`` picks a fabric
+    #: default -- half the data-queue capacity on trimming switches,
+    #: a fifth of the drop-tail capacity otherwise (K = 20 for the default
+    #: 100-packet queue, the classic DCTCP-style step threshold).
+    ecn_threshold_packets: int | None = None
+    #: EWMA weight of the marking hysteresis (see NetworkConfig).
+    ecn_ewma_weight: float = 0.2
 
     def __post_init__(self) -> None:
         if self.fattree_k < 2 or self.fattree_k % 2:
@@ -74,6 +85,10 @@ class ExperimentConfig:
             raise ValueError("convergence_delay_s cannot be negative")
         if self.convergence_jitter < 0:
             raise ValueError("convergence_jitter cannot be negative")
+        if self.ecn_threshold_packets is not None:
+            check_positive("ecn_threshold_packets", self.ecn_threshold_packets)
+        if not (0.0 < self.ecn_ewma_weight <= 1.0):
+            raise ValueError("ecn_ewma_weight must be in (0, 1]")
 
     # Derived quantities ---------------------------------------------------------
 
@@ -121,6 +136,9 @@ class ExperimentConfig:
                 routing_mode=RoutingMode.PACKET_SPRAY,
                 convergence_delay_s=self.convergence_delay_s,
                 convergence_jitter=self.convergence_jitter,
+                ecn_enabled=self.ecn_enabled,
+                ecn_threshold_packets=self.resolved_ecn_threshold(Protocol.POLYRAPTOR),
+                ecn_ewma_weight=self.ecn_ewma_weight,
             )
         return NetworkConfig(
             link_rate_bps=self.link_rate_bps,
@@ -130,7 +148,23 @@ class ExperimentConfig:
             routing_mode=RoutingMode.ECMP_FLOW,
             convergence_delay_s=self.convergence_delay_s,
             convergence_jitter=self.convergence_jitter,
+            ecn_enabled=self.ecn_enabled,
+            ecn_threshold_packets=self.resolved_ecn_threshold(Protocol.TCP),
+            ecn_ewma_weight=self.ecn_ewma_weight,
         )
+
+    def resolved_ecn_threshold(self, protocol: Protocol) -> int:
+        """The marking threshold in force for a protocol's fabric.
+
+        An explicit ``ecn_threshold_packets`` wins; otherwise trimming
+        fabrics mark at half the (shallow) data-queue capacity and drop-tail
+        fabrics at a fifth of their capacity, both at least one packet.
+        """
+        if self.ecn_threshold_packets is not None:
+            return self.ecn_threshold_packets
+        if protocol is Protocol.POLYRAPTOR:
+            return max(1, self.data_queue_capacity_packets // 2)
+        return max(1, self.droptail_capacity_packets // 5)
 
     def with_seed(self, seed: int) -> "ExperimentConfig":
         """A copy of this configuration with a different seed."""

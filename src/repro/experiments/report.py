@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only; avoids circular imports
     from repro.experiments.figure1a import Figure1aResult
     from repro.experiments.figure1b import Figure1bResult
     from repro.experiments.figure1c import Figure1cResult
+    from repro.experiments.incast import IncastResult
     from repro.experiments.resilience import ResilienceResult
 
 
@@ -118,7 +119,7 @@ def merge_codec_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
         return None
     backends = sorted({str(stats.get("backend", "?")) for stats in present})
     kernels = sorted({str(stats.get("kernel", "?")) for stats in present})
-    return {
+    merged = {
         "backend": "+".join(backends),
         "kernel": "+".join(kernels),
         "canonical_decode_plans": all(
@@ -139,6 +140,19 @@ def merge_codec_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
         "cached_plans": max(stats.get("cached_plans", 0) for stats in present),
         "shards": len(present),
     }
+    # Any counter this merger does not know by name is summed generically, so
+    # a newly added codec counter survives a sharded merge instead of being
+    # silently dropped (which would make --jobs N diverge from --jobs 1).
+    known = set(merged)
+    extra_keys = sorted({key for stats in present for key in stats} - known)
+    for key in extra_keys:
+        values = [stats.get(key, 0) for stats in present]
+        if all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in values
+        ):
+            merged[key] = sum(values)
+    return merged
 
 
 def format_codec_stats(
@@ -338,6 +352,105 @@ def format_fault_stats(
         headers.append("causes")
     table = _format_table(headers, rows)
     return f"{title}\n{table}"
+
+
+def merge_transport_stats(stats_list: Sequence[Optional[dict]]) -> Optional[dict]:
+    """Aggregate per-run congestion-reaction statistics across sweep shards.
+
+    Every counter is additive (ECN marks, CE receipts, echoes, TFRC rate
+    updates, gray detections, sender reactions), so shards simply sum --
+    generically over whatever keys are present, so newly added counters
+    survive merging; a ``shards`` field records how many runs contributed.
+    Runs with every reactive feature off (``None``) are skipped; returns
+    ``None`` when no run carried stats.
+    """
+    present = [stats for stats in stats_list if stats]
+    if not present:
+        return None
+    keys = sorted({key for stats in present for key in stats})
+    merged = {key: sum(stats.get(key, 0) for stats in present) for key in keys}
+    merged["shards"] = len(present)
+    return merged
+
+
+def format_transport_stats(
+    stats_by_label: Mapping[str, Optional[dict]],
+    title: str = "Congestion-reaction counters",
+) -> str:
+    """Render per-series ECN/TFRC/gray-detection counters.
+
+    Series that ran with every reactive feature off (``None`` stats, e.g.
+    the marking-off baseline cells) render as ``-`` rows so the table always
+    lists every series of an experiment.  Counters a protocol does not keep
+    (TCP has no TFRC rate updates; Polyraptor has no ECE echoes) render as
+    ``-`` too.
+    """
+    columns = [
+        ("ecn marks", "ecn_marks"),
+        ("ce recv", "ce_received"),
+        ("echoes", "ecn_echoes"),
+        ("reactions", "ecn_reactions"),
+        ("rate updates", "rate_updates"),
+        ("gray", "gray_detected"),
+    ]
+    rows = []
+    for label in sorted(stats_by_label):
+        stats = stats_by_label[label]
+        if not stats:
+            rows.append([label] + ["-"] * len(columns))
+            continue
+        rows.append(
+            [label]
+            + [str(stats[key]) if key in stats else "-" for _, key in columns]
+        )
+    table = _format_table(["series"] + [header for header, _ in columns], rows)
+    return f"{title}\n{table}"
+
+
+def format_incast(
+    result: IncastResult,
+    title: str = "Incast -- fan-in sweep with marking/reaction on vs off",
+) -> str:
+    """Render the incast sweep: FCT table plus congestion-reaction counters.
+
+    One row per (protocol, cell) in sweep order -- each fan-in with marking
+    off then on -- with completion, FCT quantiles (p99 included: the incast
+    pathology lives in the tail) and the FCT ratio of each marking-on cell
+    against the same protocol and fan-in with marking off.
+    """
+    rows = []
+    transport_stats: dict[str, Optional[dict]] = {}
+    protocols = sorted({protocol for protocol, _ in result.points})
+    for protocol_value in protocols:
+        for label in result.labels:
+            point = result.points[(protocol_value, label)]
+            rows.append(
+                [
+                    protocol_value,
+                    label,
+                    f"{point.completed}/{point.offered}",
+                    _fct_cell(point.median_fct_ms),
+                    _fct_cell(point.p90_fct_ms),
+                    _fct_cell(point.p99_fct_ms),
+                    f"{point.mean_goodput_gbps:.3f}",
+                    f"{point.fct_vs_unmarked:.2f}x" if point.fct_vs_unmarked is not None else "-",
+                ]
+            )
+            transport_stats[f"{protocol_value} @ {label}"] = point.transport_stats
+    table = _format_table(
+        [
+            "protocol",
+            "cell",
+            "completed",
+            "median FCT ms",
+            "p90 FCT ms",
+            "p99 FCT ms",
+            "mean Gbps",
+            "vs mark-off",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}\n\n{format_transport_stats(transport_stats)}"
 
 
 def format_resilience(

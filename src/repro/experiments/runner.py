@@ -60,6 +60,11 @@ class RunResult:
     #: Fault-layer statistics (per-event counters, fault-caused packet drops,
     #: reroutes) when a fault schedule drove the run; ``None`` otherwise.
     fault_stats: Optional[dict] = None
+    #: Congestion-reaction statistics (ECN marks, TFRC rate updates, gray
+    #: detections) when any reactive feature -- marking, TFRC pacing or gray
+    #: detection -- was enabled for the run; ``None`` otherwise, so runs with
+    #: everything off keep their historical canonical snapshots byte-for-byte.
+    transport_stats: Optional[dict] = None
 
     @property
     def completion_fraction(self) -> float:
@@ -77,7 +82,7 @@ class RunResult:
         identity, e.g. a label string shared with an enum value, which a
         round trip does not preserve); this snapshot compares by value only.
         """
-        return {
+        snapshot = {
             "protocol": self.protocol.value,
             "sim_time_s": self.sim_time_s,
             "events_processed": self.events_processed,
@@ -100,6 +105,11 @@ class RunResult:
                 for record in self.registry.records
             ],
         }
+        # Included only when a reactive feature ran: legacy snapshots (and
+        # their fingerprints) must not change shape for feature-off runs.
+        if self.transport_stats is not None:
+            snapshot["transport_stats"] = self.transport_stats
+        return snapshot
 
     def goodputs_gbps(self, label: Optional[str] = "foreground") -> list[float]:
         """Goodputs of completed transfers with the given label (None = all)."""
@@ -188,6 +198,47 @@ def build_environment(
         polyraptor_config=pcfg,
         fault_injector=fault_injector,
     )
+
+
+def _collect_transport_stats(env: _Environment, protocol: Protocol) -> Optional[dict]:
+    """Congestion-reaction counters for the run, or ``None`` when inert.
+
+    Counters are summed in deterministic (host-construction) order and only
+    collected when marking, TFRC pacing or gray detection was actually on --
+    feature-off runs return ``None`` so their results (and fingerprints) stay
+    byte-identical to the pre-reaction simulator.
+    """
+    pcfg = env.polyraptor_config
+    reactive = env.network.config.ecn_enabled or (
+        pcfg is not None and (pcfg.tfrc_pacing or pcfg.gray_detection)
+    )
+    if not reactive:
+        return None
+    stats = {"ecn_marks": env.network.total_ecn_marked}
+    if protocol is Protocol.POLYRAPTOR:
+        ce_received = rate_updates = gray_detected = 0
+        for agent in env.polyraptor_agents.values():
+            if agent.pacer.tfrc is not None:
+                rate_updates += agent.pacer.tfrc.rate_updates
+            for receiver in agent.all_receiver_sessions:
+                ce_received += receiver.ce_received
+            for sender in agent.all_sender_sessions:
+                gray_detected += sender.gray_detected
+                if sender.tfrc is not None:
+                    rate_updates += sender.tfrc.rate_updates
+        stats["ce_received"] = ce_received
+        stats["rate_updates"] = rate_updates
+        stats["gray_detected"] = gray_detected
+    else:
+        ecn_echoes = ecn_reactions = 0
+        for agent in env.tcp_agents.values():
+            for receiver in agent.all_receivers:
+                ecn_echoes += receiver.ecn_echoes
+            for sender in agent.all_senders:
+                ecn_reactions += sender.ecn_reactions
+        stats["ecn_echoes"] = ecn_echoes
+        stats["ecn_reactions"] = ecn_reactions
+    return stats
 
 
 def _object_payload(spec: TransferSpec) -> bytes:
@@ -323,6 +374,7 @@ def run_transfers(
         trace=trace,
         codec_stats=env.codec_context.stats_dict() if env.codec_context else None,
         fault_stats=env.fault_injector.stats_dict() if env.fault_injector else None,
+        transport_stats=_collect_transport_stats(env, protocol),
     )
 
 

@@ -29,7 +29,7 @@ from typing import Callable, Iterable, Optional, Union
 from repro.network.host import Host
 from repro.network.link import Link, Port
 from repro.network.multicast import MulticastGroup, build_multicast_tree, group_table_entries
-from repro.network.queues import DropTailQueue, TrimmingQueue
+from repro.network.queues import DropTailQueue, EcnMarker, TrimmingQueue
 from repro.network.routing import RoutingMode, RoutingTable
 from repro.network.switch import Switch
 from repro.network.topology import Topology
@@ -64,6 +64,15 @@ class NetworkConfig:
     #: optional seeded jitter: each install's lag is drawn uniformly from
     #: ``[delay, delay * (1 + jitter)]`` using the network's random streams.
     convergence_jitter: float = 0.0
+    #: ECN/PCN marking on switch egress queues.  Off by default so every
+    #: pre-existing scenario stays byte-identical; host NIC queues never
+    #: mark regardless (a host does not congest its own egress).
+    ecn_enabled: bool = False
+    #: instantaneous data-queue depth (packets) at which arriving data
+    #: packets get the CE bit.
+    ecn_threshold_packets: int = 4
+    #: weight of the newest depth sample in the marking EWMA.
+    ecn_ewma_weight: float = 0.2
 
     def __post_init__(self) -> None:
         check_positive("link_rate_bps", self.link_rate_bps)
@@ -78,6 +87,9 @@ class NetworkConfig:
             raise ValueError("convergence_delay_s cannot be negative")
         if self.convergence_jitter < 0:
             raise ValueError("convergence_jitter cannot be negative")
+        check_positive("ecn_threshold_packets", self.ecn_threshold_packets)
+        if not (0.0 < self.ecn_ewma_weight <= 1.0):
+            raise ValueError("ecn_ewma_weight must be in (0, 1]")
 
 
 class Network:
@@ -127,13 +139,25 @@ class Network:
 
     # Construction --------------------------------------------------------------
 
+    def _new_marker(self) -> Optional[EcnMarker]:
+        if not self.config.ecn_enabled:
+            return None
+        return EcnMarker(
+            threshold_packets=self.config.ecn_threshold_packets,
+            ewma_weight=self.config.ecn_ewma_weight,
+        )
+
     def _new_queue(self):
         if self.config.switch_queue == "trimming":
             return TrimmingQueue(
                 data_capacity_packets=self.config.data_queue_capacity_packets,
                 header_capacity_packets=self.config.header_queue_capacity_packets,
+                marker=self._new_marker(),
             )
-        return DropTailQueue(capacity_packets=self.config.droptail_capacity_packets)
+        return DropTailQueue(
+            capacity_packets=self.config.droptail_capacity_packets,
+            marker=self._new_marker(),
+        )
 
     def _build_nodes(self) -> None:
         for host_name in self.topology.hosts:
@@ -478,6 +502,11 @@ class Network:
     def total_forwarded_packets(self) -> int:
         """Packets forwarded by all switches."""
         return sum(switch.forwarded_packets for switch in self.switches.values())
+
+    @property
+    def total_ecn_marked(self) -> int:
+        """Packets CE-marked across every switch queue in the fabric."""
+        return sum(switch.total_ecn_marked for switch in self.switches.values())
 
     @property
     def total_dropped_link_down(self) -> int:

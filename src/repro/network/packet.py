@@ -45,6 +45,7 @@ class Packet:
     payload: Any = None
     created_at: float = 0.0
     hops: int = 0
+    ce: bool = False  # ECN Congestion Experienced mark, set by marking queues
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

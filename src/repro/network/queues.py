@@ -21,9 +21,72 @@ carry.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Optional, Protocol
 
 from repro.network.packet import Packet, PacketKind
+
+
+class EcnMarker:
+    """Per-queue ECN/PCN marking state.
+
+    A marker watches the *data* queue depth on every enqueue and sets the CE
+    bit on data packets when either
+
+    * the instantaneous depth reaches ``threshold_packets`` (DCTCP-style
+      step marking), or
+    * an EWMA of the depth reaches ``ewma_threshold_packets`` (PCN-style
+      smoothed marking; the EWMA decays slowly, so marking persists briefly
+      after a burst drains -- deliberate hysteresis).
+
+    Args:
+        threshold_packets: instantaneous-depth marking threshold (in packets,
+            measured *before* the arriving packet is appended).
+        ewma_weight: weight of the newest depth sample in the EWMA
+            (``ewma = (1 - w) * ewma + w * depth``); must be in (0, 1].
+        ewma_threshold_packets: EWMA marking threshold; defaults to the
+            instantaneous threshold.
+    """
+
+    def __init__(
+        self,
+        threshold_packets: int,
+        ewma_weight: float = 0.2,
+        ewma_threshold_packets: Optional[float] = None,
+    ) -> None:
+        if threshold_packets <= 0:
+            raise ValueError("ECN threshold must be positive")
+        if not (0.0 < ewma_weight <= 1.0):
+            raise ValueError("ECN EWMA weight must be in (0, 1]")
+        self.threshold_packets = threshold_packets
+        self.ewma_weight = ewma_weight
+        self.ewma_threshold_packets = (
+            float(threshold_packets)
+            if ewma_threshold_packets is None
+            else float(ewma_threshold_packets)
+        )
+        if self.ewma_threshold_packets <= 0:
+            raise ValueError("ECN EWMA threshold must be positive")
+        self.ewma_depth = 0.0
+        self.marks = 0
+
+    def observe(self, depth_packets: int) -> bool:
+        """Fold a depth sample into the EWMA; return True if marking is on."""
+        self.ewma_depth = (
+            (1.0 - self.ewma_weight) * self.ewma_depth
+            + self.ewma_weight * depth_packets
+        )
+        return (
+            depth_packets >= self.threshold_packets
+            or self.ewma_depth >= self.ewma_threshold_packets
+        )
+
+    def maybe_mark(self, packet: Packet, depth_packets: int) -> Packet:
+        """Return ``packet`` (CE-marked copy if over threshold) for a data enqueue."""
+        if self.observe(depth_packets) and not packet.ce:
+            self.marks += 1
+            return replace(packet, ce=True)
+        return packet
 
 
 class QueueDiscipline(Protocol):
@@ -42,10 +105,15 @@ class QueueDiscipline(Protocol):
 class DropTailQueue:
     """A single bounded FIFO; the classic switch queue used by the TCP baseline."""
 
-    def __init__(self, capacity_packets: int = 100) -> None:
+    def __init__(
+        self,
+        capacity_packets: int = 100,
+        marker: Optional[EcnMarker] = None,
+    ) -> None:
         if capacity_packets <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_packets = capacity_packets
+        self.marker = marker
         self._queue: deque[Packet] = deque()
         self.dropped_packets = 0
         self.enqueued_packets = 0
@@ -55,6 +123,8 @@ class DropTailQueue:
         if len(self._queue) >= self.capacity_packets:
             self.dropped_packets += 1
             return None
+        if self.marker is not None and packet.kind is PacketKind.DATA:
+            packet = self.marker.maybe_mark(packet, len(self._queue))
         self._queue.append(packet)
         self.enqueued_packets += 1
         return packet
@@ -72,6 +142,11 @@ class DropTailQueue:
     def queued_bytes(self) -> int:
         """Total bytes currently queued."""
         return sum(packet.size_bytes for packet in self._queue)
+
+    @property
+    def ecn_marked(self) -> int:
+        """Packets CE-marked by this queue's marker (0 without a marker)."""
+        return self.marker.marks if self.marker is not None else 0
 
 
 class TrimmingQueue:
@@ -93,6 +168,7 @@ class TrimmingQueue:
         data_capacity_packets: int = 8,
         header_capacity_packets: int = 1000,
         data_service_ratio: int = 10,
+        marker: Optional[EcnMarker] = None,
     ) -> None:
         if data_capacity_packets <= 0:
             raise ValueError("data queue capacity must be positive")
@@ -103,6 +179,7 @@ class TrimmingQueue:
         self.data_capacity_packets = data_capacity_packets
         self.header_capacity_packets = header_capacity_packets
         self.data_service_ratio = data_service_ratio
+        self.marker = marker
         self._data: deque[Packet] = deque()
         self._priority: deque[Packet] = deque()
         self._consecutive_priority = 0
@@ -114,6 +191,8 @@ class TrimmingQueue:
     def enqueue(self, packet: Packet) -> Optional[Packet]:
         """Queue a packet, trimming data packets when the data queue is full."""
         if packet.kind is PacketKind.DATA and not packet.priority:
+            if self.marker is not None:
+                packet = self.marker.maybe_mark(packet, len(self._data))
             if len(self._data) < self.data_capacity_packets:
                 self._data.append(packet)
                 self.enqueued_packets += 1
@@ -165,3 +244,8 @@ class TrimmingQueue:
     def queued_bytes(self) -> int:
         """Total bytes currently queued across both queues."""
         return sum(p.size_bytes for p in self._data) + sum(p.size_bytes for p in self._priority)
+
+    @property
+    def ecn_marked(self) -> int:
+        """Packets CE-marked by this queue's marker (0 without a marker)."""
+        return self.marker.marks if self.marker is not None else 0

@@ -196,22 +196,43 @@ class Switch(Node):
         """Packets dropped across all this switch's egress queues."""
         return sum(getattr(port.queue, "dropped_packets", 0) for port in self._ports.values())
 
+    @property
+    def total_ecn_marked(self) -> int:
+        """Packets CE-marked across all this switch's egress queues."""
+        return sum(getattr(port.queue, "ecn_marked", 0) for port in self._ports.values())
+
 
 def trimming_queue_factory(
     data_capacity_packets: int = 8,
     header_capacity_packets: int = 1000,
+    marker_factory: Optional[Callable[[], object]] = None,
 ) -> QueueFactory:
-    """Return a factory producing NDP-style trimming queues."""
+    """Return a factory producing NDP-style trimming queues.
+
+    ``marker_factory`` (when given) builds a fresh per-queue
+    :class:`repro.network.queues.EcnMarker` for every port.
+    """
     def factory() -> TrimmingQueue:
         return TrimmingQueue(
             data_capacity_packets=data_capacity_packets,
             header_capacity_packets=header_capacity_packets,
+            marker=marker_factory() if marker_factory is not None else None,
         )
     return factory
 
 
-def droptail_queue_factory(capacity_packets: int = 100) -> QueueFactory:
-    """Return a factory producing classic drop-tail queues."""
+def droptail_queue_factory(
+    capacity_packets: int = 100,
+    marker_factory: Optional[Callable[[], object]] = None,
+) -> QueueFactory:
+    """Return a factory producing classic drop-tail queues.
+
+    ``marker_factory`` (when given) builds a fresh per-queue
+    :class:`repro.network.queues.EcnMarker` for every port.
+    """
     def factory() -> DropTailQueue:
-        return DropTailQueue(capacity_packets=capacity_packets)
+        return DropTailQueue(
+            capacity_packets=capacity_packets,
+            marker=marker_factory() if marker_factory is not None else None,
+        )
     return factory

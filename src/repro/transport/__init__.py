@@ -6,6 +6,9 @@
   compares against ("standard unicast data transport"), including the
   multi-unicast replication and uncoordinated multi-source fetch emulations
   used in Figures 1a and 1b.
+* :mod:`repro.transport.tfrc` -- the TFRC-style equation-based rate
+  controller (loss-event-rate estimator + allowed-rate equation) that paces
+  the fountain sender and pull pacer when congestion reaction is enabled.
 
 The Polyraptor protocol itself lives in :mod:`repro.core` because it is the
 paper's primary contribution.

@@ -88,6 +88,16 @@ class TcpAgent:
         """Number of flows started on this host that have not completed yet."""
         return sum(1 for sender in self._senders.values() if not sender.completed)
 
+    @property
+    def all_senders(self) -> list[TcpSender]:
+        """Every flow sender on this host (stats collection)."""
+        return list(self._senders.values())
+
+    @property
+    def all_receivers(self) -> list[TcpReceiver]:
+        """Every flow receiver on this host (stats collection)."""
+        return list(self._receivers.values())
+
     # Packet handling --------------------------------------------------------------
 
     def handle_packet(self, packet: Packet) -> None:
@@ -103,7 +113,7 @@ class TcpAgent:
         if segment.ack:
             sender = self._senders.get(segment.flow_id)
             if sender is not None:
-                sender.on_ack(segment.ack_seq)
+                sender.on_ack(segment.ack_seq, ece=segment.ece)
             return
         receiver = self._receivers.get(segment.flow_id)
         if receiver is None:
@@ -115,4 +125,4 @@ class TcpAgent:
                 peer_host_id=segment.src_host,
             )
             self._receivers[segment.flow_id] = receiver
-        receiver.on_data(segment)
+        receiver.on_data(segment, ce=packet.ce)

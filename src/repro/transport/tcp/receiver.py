@@ -37,10 +37,16 @@ class TcpReceiver:
         self.received_segments = 0
         self.duplicate_segments = 0
         self.delivered_bytes = 0
+        self.ecn_echoes = 0
         self.completed = False
 
-    def on_data(self, segment: TcpSegment) -> None:
-        """Process one data segment and emit a cumulative ACK."""
+    def on_data(self, segment: TcpSegment, ce: bool = False) -> None:
+        """Process one data segment and emit a cumulative ACK.
+
+        ``ce`` is the CE bit of the packet that carried the segment; it is
+        echoed on the generated ACK (per-packet, DCTCP-style) so the sender
+        sees congestion marks one RTT after the marking queue set them.
+        """
         self.received_segments += 1
         if segment.end_seq <= self.cumulative_ack:
             self.duplicate_segments += 1
@@ -49,7 +55,7 @@ class TcpReceiver:
             self._drain_out_of_order()
         else:
             self._out_of_order[segment.seq] = segment.end_seq
-        self._send_ack()
+        self._send_ack(ece=ce)
         self._check_completion()
 
     def _drain_out_of_order(self) -> None:
@@ -65,13 +71,16 @@ class TcpReceiver:
                     advanced = True
                     break
 
-    def _send_ack(self) -> None:
+    def _send_ack(self, ece: bool = False) -> None:
+        if ece:
+            self.ecn_echoes += 1
         ack = TcpSegment(
             flow_id=self.flow_id,
             src_host=self._host.node_id,
             dst_host=self.peer_host_id,
             ack=True,
             ack_seq=self.cumulative_ack,
+            ece=ece,
         )
         packet = make_control_packet(
             protocol=TCP_PROTOCOL,

@@ -22,6 +22,9 @@ class TcpSegment:
     ack: bool = False
     ack_seq: int = 0
     retransmission: bool = False
+    #: ECN-Echo: set on an ACK when the data packet it acknowledges carried
+    #: a CE mark (per-packet echo, DCTCP-style rather than RFC 3168 latching).
+    ece: bool = False
 
     @property
     def end_seq(self) -> int:

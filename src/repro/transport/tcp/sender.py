@@ -53,6 +53,9 @@ class TcpSender:
         self.timeouts = 0
         self.fast_retransmits = 0
         self.segments_sent = 0
+        self.ecn_reactions = 0
+        #: sequence guard: react to ECE at most once per window of data
+        self._cwr_point = 0
 
         self._send_times: dict[int, float] = {}
         self._retransmit_timer = Timer(sim, self._on_timeout)
@@ -63,14 +66,26 @@ class TcpSender:
         """Begin transmitting (the connection is assumed established)."""
         self._send_available()
 
-    def on_ack(self, ack_seq: int) -> None:
-        """Process a cumulative acknowledgement."""
+    def on_ack(self, ack_seq: int, ece: bool = False) -> None:
+        """Process a cumulative acknowledgement (``ece`` = echoed CE mark)."""
         if self.completed:
             return
+        if ece and self.config.ecn_enabled:
+            self._on_ecn_echo(ack_seq)
         if ack_seq > self.snd_una:
             self._on_new_ack(ack_seq)
         elif ack_seq == self.snd_una and self.snd_nxt > self.snd_una:
             self._on_duplicate_ack()
+
+    def _on_ecn_echo(self, ack_seq: int) -> None:
+        """RFC 3168 reaction: halve cwnd at most once per window of data."""
+        if self.in_fast_recovery or ack_seq <= self._cwr_point:
+            return
+        mss = self.config.mss_bytes
+        self.ecn_reactions += 1
+        self.ssthresh = max(self.cwnd / 2, 2.0 * mss)
+        self.cwnd = self.ssthresh
+        self._cwr_point = self.snd_nxt
 
     @property
     def bytes_in_flight(self) -> int:

@@ -1,0 +1,240 @@
+"""TFRC-style equation-based rate control (RFC 5348, simplified).
+
+The controller computes an *allowed sending rate* from two measured inputs:
+
+* a smoothed round-trip time (EWMA over RTT samples), and
+* a **loss-event rate** ``p`` estimated with RFC 5348's loss-interval
+  method: congestion signals (a lost/trimmed symbol, an ECN mark) that
+  arrive within one RTT of the start of the current loss event belong to
+  that event; a later signal opens a new *loss interval*.  ``p`` is the
+  inverse of the weighted average interval length over the last
+  :data:`LOSS_INTERVAL_HISTORY` intervals, newest weighted highest.
+
+The allowed rate is the TCP throughput equation::
+
+    X = s / (R*sqrt(2*b*p/3) + t_RTO * (3*sqrt(3*b*p/8)) * p * (1 + 32*p**2))
+
+with ``b = 1`` (no delayed acks modelled) and ``t_RTO = 4R``.  While no
+loss event has ever been observed the controller allows ``max_rate``
+(slow-start is handled by the caller's initial window), so enabling TFRC
+on a loss-free path changes nothing.
+
+The same controller paces both sides of the fountain transport: the
+receiver's pull pacer (pulls clock symbols, so pacing pulls paces the
+sender) and the sender's initial line-rate window.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+#: Number of loss intervals in the weighted average (RFC 5348 section 5.4).
+LOSS_INTERVAL_HISTORY = 8
+
+#: RFC 5348 weights, newest interval first.
+LOSS_INTERVAL_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+
+def tfrc_rate_bps(
+    segment_bytes: int,
+    rtt_s: float,
+    loss_event_rate: float,
+    b: float = 1.0,
+    rto_factor: float = 4.0,
+) -> float:
+    """The TCP throughput equation X(s, R, p) in bits per second.
+
+    Returns ``math.inf`` when ``loss_event_rate`` is 0 (no loss observed:
+    the equation is unbounded and the caller clamps to its max rate).
+    """
+    if segment_bytes <= 0:
+        raise ValueError("segment_bytes must be positive")
+    if rtt_s <= 0:
+        raise ValueError("rtt_s must be positive")
+    if not (0.0 <= loss_event_rate <= 1.0):
+        raise ValueError("loss_event_rate must be in [0, 1]")
+    p = loss_event_rate
+    if p == 0.0:
+        return math.inf
+    t_rto = rto_factor * rtt_s
+    denominator = rtt_s * math.sqrt(2.0 * b * p / 3.0) + t_rto * (
+        3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    return segment_bytes * 8.0 / denominator
+
+
+class LossIntervalEstimator:
+    """RFC 5348 loss-event-rate estimator over loss intervals.
+
+    Feed it every received packet (:meth:`on_packet`) and every congestion
+    signal (:meth:`on_congestion`, with the current time and RTT); read
+    :meth:`loss_event_rate`.
+    """
+
+    def __init__(self, history: int = LOSS_INTERVAL_HISTORY) -> None:
+        if history <= 0:
+            raise ValueError("history must be positive")
+        self.history = history
+        #: closed loss intervals (packet counts), newest first
+        self._intervals: deque[int] = deque(maxlen=history)
+        #: packets received since the current loss event started
+        self._current_interval = 0
+        #: start time of the most recent loss event (None before any loss)
+        self._loss_event_start: Optional[float] = None
+        self.loss_events = 0
+        self.congestion_signals = 0
+
+    def on_packet(self, count: int = 1) -> None:
+        """Record ``count`` packets arriving (or being accounted) in order."""
+        self._current_interval += count
+
+    def on_congestion(self, now: float, rtt_s: float) -> bool:
+        """Record a congestion signal; return True if it opened a new loss event.
+
+        Signals within ``rtt_s`` of the current loss event's start belong to
+        the same event (RFC 5348: at most one loss event per RTT).
+        """
+        self.congestion_signals += 1
+        if (
+            self._loss_event_start is not None
+            and now - self._loss_event_start < rtt_s
+        ):
+            return False
+        self.loss_events += 1
+        self._loss_event_start = now
+        # Close the running interval.  For the very first event this seeds
+        # the history with the loss-free run-up (RFC 5348's initial-interval
+        # estimate), so one early mark does not crash p to 1.
+        self._intervals.appendleft(max(1, self._current_interval))
+        self._current_interval = 0
+        return True
+
+    def loss_event_rate(self) -> float:
+        """The estimated loss-event rate ``p`` (0.0 before any loss event)."""
+        if self._loss_event_start is None:
+            return 0.0
+        mean = self._mean_interval()
+        if mean <= 0:
+            return 1.0
+        return min(1.0, 1.0 / mean)
+
+    def _mean_interval(self) -> float:
+        """Weighted average interval, including the still-open one if larger.
+
+        RFC 5348 section 5.4: compute the weighted average both with and
+        without the current (open) interval and take the max, so the rate
+        recovers as loss-free packets accumulate but never dips because the
+        open interval is still short.
+        """
+        closed = list(self._intervals)
+        if not closed and self._current_interval == 0:
+            return 1.0
+        weights = LOSS_INTERVAL_WEIGHTS[: self.history]
+
+        def weighted(intervals: list[int]) -> float:
+            if not intervals:
+                return 0.0
+            used = intervals[: len(weights)]
+            total_weight = sum(weights[: len(used)])
+            return sum(i * w for i, w in zip(used, weights)) / total_weight
+
+        with_open = weighted([self._current_interval] + closed)
+        without_open = weighted(closed)
+        return max(with_open, without_open, 1.0 if not closed else 0.0)
+
+
+class TfrcController:
+    """Equation-based allowed-rate controller for one path/session.
+
+    Args:
+        segment_bytes: nominal packet size ``s`` in the equation.
+        max_rate_bps: ceiling (typically the line rate); also the allowed
+            rate while no loss event has been observed.
+        min_rate_bps: floor so a heavily marked path keeps trickling
+            (RFC 5348 keeps one packet per 64 s; we keep a configurable
+            floor suited to simulation timescales).
+        initial_rtt_s: RTT assumed before the first sample.
+        rtt_alpha: EWMA weight of the newest RTT sample.
+    """
+
+    def __init__(
+        self,
+        segment_bytes: int,
+        max_rate_bps: float,
+        min_rate_bps: Optional[float] = None,
+        initial_rtt_s: float = 1e-3,
+        rtt_alpha: float = 0.25,
+    ) -> None:
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if max_rate_bps <= 0:
+            raise ValueError("max_rate_bps must be positive")
+        if initial_rtt_s <= 0:
+            raise ValueError("initial_rtt_s must be positive")
+        if not (0.0 < rtt_alpha <= 1.0):
+            raise ValueError("rtt_alpha must be in (0, 1]")
+        self.segment_bytes = segment_bytes
+        self.max_rate_bps = float(max_rate_bps)
+        self.min_rate_bps = (
+            float(min_rate_bps)
+            if min_rate_bps is not None
+            else max(1.0, self.max_rate_bps / 10_000.0)
+        )
+        if self.min_rate_bps > self.max_rate_bps:
+            raise ValueError("min_rate_bps cannot exceed max_rate_bps")
+        self.rtt_alpha = rtt_alpha
+        self.rtt_s = initial_rtt_s
+        self._have_rtt_sample = False
+        self.estimator = LossIntervalEstimator()
+        self.rate_updates = 0
+        self._allowed_rate_bps = self.max_rate_bps
+
+    # Measurement inputs ----------------------------------------------------
+
+    def on_rtt_sample(self, rtt_s: float) -> None:
+        """Fold one RTT measurement into the EWMA."""
+        if rtt_s <= 0:
+            return
+        if not self._have_rtt_sample:
+            self.rtt_s = rtt_s
+            self._have_rtt_sample = True
+        else:
+            self.rtt_s = (1.0 - self.rtt_alpha) * self.rtt_s + self.rtt_alpha * rtt_s
+        self._recompute()
+
+    def on_packet(self, count: int = 1) -> None:
+        """Record in-order packet arrivals (grow the open loss interval)."""
+        self.estimator.on_packet(count)
+
+    def on_congestion(self, now: float) -> bool:
+        """Record a congestion signal (loss, trim, or CE mark) at ``now``."""
+        opened = self.estimator.on_congestion(now, self.rtt_s)
+        self._recompute()
+        return opened
+
+    # Outputs ---------------------------------------------------------------
+
+    def _recompute(self) -> None:
+        p = self.estimator.loss_event_rate()
+        raw = tfrc_rate_bps(self.segment_bytes, self.rtt_s, p)
+        clamped = min(self.max_rate_bps, max(self.min_rate_bps, raw))
+        if clamped != self._allowed_rate_bps:
+            self.rate_updates += 1
+        self._allowed_rate_bps = clamped
+
+    @property
+    def allowed_rate_bps(self) -> float:
+        """Current allowed sending rate in bits per second."""
+        return self._allowed_rate_bps
+
+    @property
+    def loss_event_rate(self) -> float:
+        """Current loss-event-rate estimate ``p``."""
+        return self.estimator.loss_event_rate()
+
+    def send_interval_s(self, packet_bytes: Optional[int] = None) -> float:
+        """Seconds between packet sends at the allowed rate."""
+        size = self.segment_bytes if packet_bytes is None else packet_bytes
+        return size * 8.0 / self._allowed_rate_bps
