@@ -44,6 +44,8 @@ from repro.experiments.figure1b import run_figure1b
 from repro.experiments.figure1c import run_figure1c
 from repro.experiments.hotspot import format_hotspot, run_hotspot_experiment
 from repro.experiments.parallel import (
+    clear_telemetry,
+    collected_telemetry,
     default_plan_cache_path,
     log_progress,
     resolve_jobs,
@@ -63,23 +65,42 @@ from repro.experiments.report import (
     format_overhead,
     format_rank_figure,
     format_resilience,
+    format_trace,
 )
 from repro.experiments.resilience import run_resilience
 from repro.experiments.workload_mix import format_workload_mix, run_workload_mix
+from repro.obs import (
+    TelemetryConfig,
+    read_telemetry_jsonl,
+    write_telemetry_csv,
+    write_telemetry_jsonl,
+)
 from repro.rq.kernels import available_kernels, registered_kernels
 from repro.utils.units import KILOBYTE
 
 
+def _telemetry_config(args: argparse.Namespace) -> TelemetryConfig | None:
+    """The run telemetry requested on the command line, or ``None`` (off)."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    return TelemetryConfig(
+        sample_period_s=args.telemetry_period_ms / 1e3,
+        max_samples=args.telemetry_samples,
+    )
+
+
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     polyraptor = PolyraptorConfig(codec_kernel=getattr(args, "kernel", "auto"))
+    telemetry = _telemetry_config(args)
     if getattr(args, "paper_scale", False):
         # The k=10 250-host preset; size/load flags are superseded, while
-        # seed, time cap and codec knobs still apply.
+        # seed, time cap, codec and telemetry knobs still apply.
         return replace(
             ExperimentConfig.paper_fabric(),
             seed=args.seed,
             max_sim_time_s=args.max_sim_time,
             polyraptor=polyraptor,
+            telemetry=telemetry,
         )
     return ExperimentConfig(
         fattree_k=args.fattree_k,
@@ -89,6 +110,7 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         max_sim_time_s=args.max_sim_time,
         polyraptor=polyraptor,
+        telemetry=telemetry,
     )
 
 
@@ -220,6 +242,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                              "(100 sessions, offered load 0.33; supersedes "
                              "--fattree-k/--sessions/--object-kb/--load); combine "
                              "with --seeds 5 for the paper's methodology")
+    parser.add_argument("--telemetry", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="record seeded time-series telemetry (queue depths, "
+                             "link utilisation, TFRC rates, path loss, cwnd) for "
+                             "every run and write it to PATH after the tables "
+                             "(JSONL, or CSV when PATH ends in .csv; default "
+                             "telemetry.jsonl).  Identical for every --jobs "
+                             "value; render with 'repro trace PATH'")
+    parser.add_argument("--telemetry-period-ms", type=float, default=10.0,
+                        metavar="MS",
+                        help="telemetry sampling cadence in simulated "
+                             "milliseconds (default 10)")
+    parser.add_argument("--telemetry-samples", type=int, default=512, metavar="N",
+                        help="ring-buffer bound per telemetry series; oldest "
+                             "samples drop off (counted) beyond this")
 
 
 def _seeds(args: argparse.Namespace, default: int = 1) -> int:
@@ -302,6 +339,13 @@ def _cmd_incast(args: argparse.Namespace) -> str:
         jobs=args.jobs,
     )
     return format_incast(result) + "\n\n" + format_codec_stats(result.codec_stats)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    telemetry = read_telemetry_jsonl(args.path)
+    return format_trace(
+        telemetry, series=args.series, width=args.width, limit=args.limit
+    )
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
@@ -388,6 +432,21 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(flag, dest="incast_response_kb", type=int, default=64,
                              metavar="KB",
                              help="per-worker incast response size in kilobytes")
+
+    # ``trace`` reads a recorded artefact instead of running simulations, so
+    # it takes none of the common run flags -- just the file and rendering.
+    trace = subparsers.add_parser(
+        "trace", help="render a recorded --telemetry JSONL file as text timelines"
+    )
+    trace.add_argument("path", help="telemetry JSONL file written by --telemetry")
+    trace.add_argument("--series", default=None, metavar="GLOB",
+                       help="only series whose name matches this glob "
+                            "(e.g. 'queue.depth.*' or 'tfrc.rate.h1*')")
+    trace.add_argument("--width", type=int, default=60, metavar="N",
+                       help="sparkline width in characters (default 60)")
+    trace.add_argument("--limit", type=int, default=20, metavar="N",
+                       help="series rendered per run (default 20)")
+    trace.set_defaults(handler=_cmd_trace)
     return parser
 
 
@@ -407,13 +466,34 @@ def _apply_execution_options(args: argparse.Namespace) -> None:
         set_chunk_size(chunk)
 
 
+def _export_telemetry(args: argparse.Namespace) -> None:
+    """Write telemetry collected during this invocation, if it was requested.
+
+    Goes to stderr/files only, so command stdout stays byte-identical with
+    and without ``--telemetry``.
+    """
+    destination = getattr(args, "telemetry", None)
+    if destination is None:
+        return
+    records = collected_telemetry()
+    path = "telemetry.jsonl" if destination == "auto" else destination
+    if path.endswith(".csv"):
+        rows = write_telemetry_csv(records, path)
+        print(f"telemetry: wrote {rows} rows to {path}", file=sys.stderr)
+    else:
+        lines = write_telemetry_jsonl(records, path)
+        print(f"telemetry: wrote {lines} lines to {path}", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse arguments, run the requested command, print its table."""
     parser = build_parser()
     args = parser.parse_args(argv)
     _apply_execution_options(args)
+    clear_telemetry()
     output = args.handler(args)
     print(output)
+    _export_telemetry(args)
     return 0
 
 

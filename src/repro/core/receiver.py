@@ -210,6 +210,18 @@ class ReceiverSession:
         estimator = self._loss_estimators.get((sender, stream))
         return estimator.loss_estimate if estimator is not None else 0.0
 
+    def path_loss_estimates(self) -> dict[int, float]:
+        """Current per-sender loss estimates, in sorted sender order.
+
+        One entry per sender that has delivered at least one symbol; the
+        value is :meth:`path_loss_estimate` for that sender's most recent
+        stream.  Used by telemetry and reporting.
+        """
+        return {
+            sender: self.path_loss_estimate(sender)
+            for sender in sorted(self._last_stream)
+        }
+
     def _record_symbol(self, payload: SymbolPayload) -> None:
         block = payload.block_number
         if block in self._complete_blocks:

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Optional
 
 from repro.core.config import PolyraptorConfig
 from repro.network.network import NetworkConfig
+from repro.obs.config import TelemetryConfig
 from repro.network.routing import RoutingMode
 from repro.transport.tcp.config import TcpConfig
 from repro.utils.units import GBPS, KILOBYTE, MEGABYTE, MICROSECOND
@@ -71,6 +73,12 @@ class ExperimentConfig:
     ecn_threshold_packets: int | None = None
     #: EWMA weight of the marking hysteresis (see NetworkConfig).
     ecn_ewma_weight: float = 0.2
+    #: flight-recorder telemetry (see :mod:`repro.obs`).  ``None`` -- the
+    #: default -- means no telemetry at all: no sampler process, no extra
+    #: random stream, and result fingerprints byte-identical to runs from
+    #: before the telemetry layer existed.  Rides inside RunJob configs, so
+    #: sharded sweeps record byte-identical telemetry for any worker count.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.fattree_k < 2 or self.fattree_k % 2:

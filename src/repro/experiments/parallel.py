@@ -79,6 +79,8 @@ from repro.experiments.runner import RunResult, run_transfers
 from repro.faults.schedule import FaultSchedule
 from repro.network.network import NetworkConfig
 from repro.network.topology import FatTreeTopology
+from repro.obs.recorder import TelemetryRecord
+from repro.obs.registry import WindowedRate
 from repro.rq.backend import (
     CodecContext,
     prewarm_canonical_decode_plans,
@@ -133,16 +135,34 @@ def resolve_jobs(jobs: Union[int, str]) -> int:
     return jobs
 
 
+#: sliding window of the --progress throughput/ETA estimate (wall seconds).
+_PROGRESS_WINDOW_S = 20.0
+_progress_rate = WindowedRate(window_s=_PROGRESS_WINDOW_S)
+
+
 def log_progress(index: int, total: int, job: "RunJob", result: RunResult) -> None:
     """The default per-job progress logger: one stderr line per finished job.
 
-    Written to stderr so the stdout tables stay byte-identical whether or
-    not progress logging is on.
+    Reports throughput (cells/second over a sliding wall-clock window) and
+    the ETA it implies for the sweep's remaining jobs once a rate can be
+    estimated (from the second job onwards).  Written to stderr so the
+    stdout tables stay byte-identical whether or not progress logging is on.
     """
+    now = time.perf_counter()
+    if index == 0:
+        _progress_rate.reset()
+    _progress_rate.record(now)
+    pace = ""
+    rate = _progress_rate.rate(now)
+    if rate > 0.0:
+        pace = f"  rate={rate:.2f}/s"
+        remaining = total - (index + 1)
+        if remaining:
+            pace += f"  eta={remaining / rate:.0f}s"
     print(
         f"[repro] job {index + 1}/{total} done  key={job.key!r}  "
         f"protocol={job.protocol.value}  sim={result.sim_time_s:.3f}s  "
-        f"wall={result.wall_time_s:.2f}s",
+        f"wall={result.wall_time_s:.2f}s{pace}",
         file=sys.stderr,
         flush=True,
     )
@@ -427,6 +447,40 @@ _last_profile: Optional[ExecutorProfile] = None
 def last_profile() -> Optional[ExecutorProfile]:
     """The profile of the most recent :func:`execute_jobs` call, if any."""
     return _last_profile
+
+
+# Telemetry collection ---------------------------------------------------------------
+#
+# Runs carry their flight-recorder output inside RunResult.telemetry (plain
+# dicts, so they ship through shm/pickle unchanged); execute_jobs additionally
+# accumulates them here -- mirroring the _last_profile pattern -- so the CLI
+# can export every sweep of an invocation without threading telemetry through
+# each scenario module's result type.  Only telemetry-carrying runs are
+# appended: with telemetry off this list never grows.
+
+_telemetry_records: list[TelemetryRecord] = []
+
+
+def collected_telemetry() -> list[TelemetryRecord]:
+    """Telemetry records accumulated by :func:`execute_jobs` since the last clear.
+
+    In job order within each sweep and sweep order across sweeps -- i.e.
+    byte-identical for every worker count, transport and chunk size.
+    """
+    return list(_telemetry_records)
+
+
+def clear_telemetry() -> None:
+    """Drop every accumulated telemetry record (start of a fresh invocation)."""
+    _telemetry_records.clear()
+
+
+def _accumulate_telemetry(label: str, jobs: Sequence["RunJob"], results: Sequence[RunResult]) -> None:
+    for job, result in zip(jobs, results):
+        if result.telemetry is not None:
+            _telemetry_records.append(
+                TelemetryRecord(label=label, key=job.key, data=result.telemetry)
+            )
 
 
 def log_exec_profile(profile: ExecutorProfile) -> None:
@@ -974,6 +1028,7 @@ def execute_jobs(
         profile.run_s = time.perf_counter() - run_start
         profile.wall_s = time.perf_counter() - wall_start
         _last_profile = profile
+        _accumulate_telemetry(label, jobs, results)
         return results
     pool, reused = get_worker_pool(
         num_workers, start_method=start_method, transport=transport
@@ -997,6 +1052,7 @@ def execute_jobs(
         raise
     profile.wall_s = time.perf_counter() - wall_start
     _last_profile = profile
+    _accumulate_telemetry(label, jobs, results)
     if progress is log_progress:
         log_exec_profile(profile)
     return results

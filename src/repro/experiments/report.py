@@ -7,6 +7,7 @@ rows/series the paper's figures report.
 
 from __future__ import annotations
 
+import fnmatch
 import math
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
@@ -547,3 +548,102 @@ def format_overhead(points: Sequence[OverheadPoint], title: str = "RQ decode ove
     ]
     table = _format_table(["overhead symbols", "trials", "failures", "failure rate"], rows)
     return f"{title}\n{table}"
+
+
+# Telemetry rendering ----------------------------------------------------------------
+
+#: ASCII intensity ramp for sparklines (space = zero/minimum).  ASCII rather
+#: than unicode block elements so the output survives every terminal and CI
+#: log encoding.
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a value series as a fixed-width ASCII intensity line.
+
+    The series is resampled to ``width`` buckets taking each bucket's
+    *maximum* (peaks -- the thing queue-depth timelines exist to show --
+    survive downsampling), then mapped onto :data:`SPARK_CHARS` scaled to
+    the series' own min/max.  A constant series renders at mid-intensity;
+    an empty one as ``width`` spaces.
+    """
+    if width < 1:
+        raise ValueError(f"width must be at least 1, got {width}")
+    if not values:
+        return " " * width
+    buckets: list[float] = []
+    count = len(values)
+    for index in range(min(width, count)):
+        start = index * count // min(width, count)
+        stop = max(start + 1, (index + 1) * count // min(width, count))
+        buckets.append(max(values[start:stop]))
+    low = min(buckets)
+    high = max(buckets)
+    if high == low:
+        line = SPARK_CHARS[len(SPARK_CHARS) // 2] * len(buckets)
+        return line.ljust(width)
+    top = len(SPARK_CHARS) - 1
+    line = "".join(
+        SPARK_CHARS[round((value - low) / (high - low) * top)] for value in buckets
+    )
+    return line.ljust(width)
+
+
+def format_trace(
+    telemetry: Mapping,
+    series: Optional[str] = None,
+    width: int = 60,
+    limit: int = 20,
+) -> str:
+    """Render a recorded telemetry file (``repro trace``) as text timelines.
+
+    ``telemetry`` is the dict :func:`repro.obs.read_telemetry_jsonl`
+    returns.  For each recorded run a header line (key, label, tick count)
+    is followed by up to ``limit`` of its series -- optionally filtered by
+    the ``series`` glob (``fnmatch`` against the series name) -- each as
+    ``name  last/max  |sparkline|``.  Series are listed in recorded (sorted
+    name) order; a trailing note counts any suppressed by ``limit``.
+    """
+    lines: list[str] = []
+    by_run: dict[tuple, list[dict]] = {}
+    for entry in telemetry.get("series", []):
+        by_run.setdefault((entry["label"], _key_of(entry)), []).append(entry)
+    for run in telemetry.get("runs", []):
+        run_id = (run["label"], _key_of(run))
+        if lines:
+            lines.append("")
+        lines.append(
+            f"run key={run['key']!r} label={run['label']!r} ticks={run.get('ticks', 0)}"
+        )
+        entries = by_run.get(run_id, [])
+        if series is not None:
+            entries = [
+                entry for entry in entries if fnmatch.fnmatch(entry["name"], series)
+            ]
+        if not entries:
+            lines.append("  (no matching series)")
+            continue
+        name_width = max(len(entry["name"]) for entry in entries[:limit])
+        for entry in entries[:limit]:
+            values = entry["v"]
+            last = values[-1] if values else 0.0
+            peak = max(values) if values else 0.0
+            dropped = f"  dropped={entry['dropped']}" if entry.get("dropped") else ""
+            lines.append(
+                f"  {entry['name'].ljust(name_width)}  "
+                f"last={last:<12.6g} max={peak:<12.6g} "
+                f"|{sparkline(values, width)}|{dropped}"
+            )
+        if len(entries) > limit:
+            lines.append(f"  ... {len(entries) - limit} more series (raise --limit)")
+    if not lines:
+        return "(no runs recorded)"
+    return "\n".join(lines)
+
+
+def _key_of(entry: Mapping) -> tuple:
+    """A hashable run identity from a JSON-decoded key (lists become tuples)."""
+    key = entry.get("key")
+    if isinstance(key, list):
+        return tuple(key)
+    return (key,)

@@ -30,6 +30,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.network.network import Network, NetworkConfig
 from repro.network.topology import FatTreeTopology, Topology
+from repro.obs import FlightRecorder, MetricRegistry, TelemetrySampler
 from repro.rq.backend import CodecContext
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -65,6 +66,10 @@ class RunResult:
     #: detection -- was enabled for the run; ``None`` otherwise, so runs with
     #: everything off keep their historical canonical snapshots byte-for-byte.
     transport_stats: Optional[dict] = None
+    #: flight-recorder output (``schema``/``ticks``/``series``/``metrics``)
+    #: when ``config.telemetry`` enabled the sampler; ``None`` otherwise --
+    #: same conditional-presence contract as ``transport_stats``.
+    telemetry: Optional[dict] = None
 
     @property
     def completion_fraction(self) -> float:
@@ -109,6 +114,9 @@ class RunResult:
         # their fingerprints) must not change shape for feature-off runs.
         if self.transport_stats is not None:
             snapshot["transport_stats"] = self.transport_stats
+        # Same contract for telemetry: absent key for telemetry-off runs.
+        if self.telemetry is not None:
+            snapshot["telemetry"] = self.telemetry
         return snapshot
 
     def goodputs_gbps(self, label: Optional[str] = "foreground") -> list[float]:
@@ -128,6 +136,10 @@ class _Environment:
     codec_context: Optional[CodecContext] = None
     polyraptor_config: Optional[PolyraptorConfig] = None
     fault_injector: Optional[FaultInjector] = None
+    #: telemetry wiring; all three are None for telemetry-off runs
+    sampler: Optional[TelemetrySampler] = None
+    recorder: Optional[FlightRecorder] = None
+    metrics: Optional[MetricRegistry] = None
 
 
 def build_environment(
@@ -188,6 +200,29 @@ def build_environment(
         codec_context = None  # TCP does no coding; never report codec stats.
         for host in network.hosts:
             tcp_agents[host.name] = TcpAgent(sim, host, config.tcp, registry)
+    sampler: Optional[TelemetrySampler] = None
+    recorder: Optional[FlightRecorder] = None
+    metrics: Optional[MetricRegistry] = None
+    tcfg = config.telemetry
+    if tcfg is not None and tcfg.enabled:
+        # Built only when asked for: a telemetry-off run creates no sampler,
+        # draws no "telemetry" stream and schedules no events, which is what
+        # keeps its fingerprints byte-identical to the pre-telemetry runner.
+        metrics = MetricRegistry()
+        recorder = FlightRecorder(max_samples=tcfg.max_samples)
+        sampler = TelemetrySampler(
+            sim, recorder, tcfg, streams.stream("telemetry"), registry=metrics
+        )
+        sampler.attach_network(network)
+        if fault_injector is not None:
+            sampler.attach_faults(fault_injector)
+        if polyraptor_agents:
+            sampler.attach_polyraptor(polyraptor_agents)
+        if tcp_agents:
+            sampler.attach_tcp(tcp_agents)
+        if trace is not None:
+            trace.bind_registry(metrics)
+        sampler.start()
     return _Environment(
         sim=sim,
         network=network,
@@ -197,6 +232,9 @@ def build_environment(
         codec_context=codec_context,
         polyraptor_config=pcfg,
         fault_injector=fault_injector,
+        sampler=sampler,
+        recorder=recorder,
+        metrics=metrics,
     )
 
 
@@ -239,6 +277,30 @@ def _collect_transport_stats(env: _Environment, protocol: Protocol) -> Optional[
         stats["ecn_echoes"] = ecn_echoes
         stats["ecn_reactions"] = ecn_reactions
     return stats
+
+
+def _collect_telemetry(env: _Environment) -> Optional[dict]:
+    """The run's flight-recorder output, or ``None`` for telemetry-off runs.
+
+    Besides the sampler's time series, the end-of-run fold fills an
+    ``fct_ms`` histogram from the transfer registry (completed transfers
+    only, in registry order) so distributions survive even when the series
+    ring buffers evicted their history.  Everything returned is plain data,
+    so the snapshot pickles across worker boundaries and merges
+    byte-identically for any ``--jobs`` value.
+    """
+    if env.sampler is None or env.metrics is None or env.recorder is None:
+        return None
+    fct_hist = env.metrics.histogram("fct_ms")
+    for record in env.registry.records:
+        if record.completed:
+            fct_hist.observe(record.flow_completion_time * 1e3)
+    return {
+        "schema": 1,
+        "ticks": env.sampler.ticks,
+        "series": env.recorder.as_dict(),
+        "metrics": env.metrics.snapshot(),
+    }
 
 
 def _object_payload(spec: TransferSpec) -> bytes:
@@ -375,6 +437,7 @@ def run_transfers(
         codec_stats=env.codec_context.stats_dict() if env.codec_context else None,
         fault_stats=env.fault_injector.stats_dict() if env.fault_injector else None,
         transport_stats=_collect_transport_stats(env, protocol),
+        telemetry=_collect_telemetry(env),
     )
 
 

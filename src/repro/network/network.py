@@ -238,6 +238,16 @@ class Network:
         return len(self.hosts)
 
     @property
+    def directed_ports(self) -> dict[tuple[str, str], Port]:
+        """Every directed egress port keyed by (src name, dst name).
+
+        A shallow copy of the registry the fault API addresses links
+        through; the telemetry sampler enumerates it once per run to build
+        its per-port probe list.
+        """
+        return dict(self._directed_ports)
+
+    @property
     def host_names(self) -> list[str]:
         """Names of all hosts, ordered by host id."""
         return [host.name for host in self.hosts]

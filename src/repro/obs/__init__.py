@@ -1,0 +1,40 @@
+"""Simulation-native observability: metrics, flight recorder, sampler.
+
+``repro.obs`` is the unified telemetry layer for the fabric, the transports
+and the executor.  See :mod:`repro.obs.sampler` for the determinism
+contract and ``docs/OBSERVABILITY.md`` for the user-facing guide.
+"""
+
+from repro.obs.config import TelemetryConfig
+from repro.obs.recorder import (
+    TELEMETRY_SCHEMA,
+    FlightRecorder,
+    SeriesBuffer,
+    TelemetryRecord,
+    read_telemetry_jsonl,
+    write_telemetry_csv,
+    write_telemetry_jsonl,
+)
+from repro.obs.registry import (
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    WindowedRate,
+)
+from repro.obs.sampler import TelemetrySampler
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SeriesBuffer",
+    "TelemetryConfig",
+    "TelemetryRecord",
+    "TelemetrySampler",
+    "WindowedRate",
+    "read_telemetry_jsonl",
+    "write_telemetry_csv",
+    "write_telemetry_jsonl",
+]

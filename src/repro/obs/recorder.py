@@ -1,0 +1,243 @@
+"""The flight recorder: bounded, sparse time-series buffers plus export.
+
+A :class:`FlightRecorder` holds one :class:`SeriesBuffer` per metric name.
+Two properties keep it cheap enough to leave on for paper-scale runs:
+
+* **Sparse recording.**  A sample is stored only when it *differs* from the
+  series' previous value (with an implicit baseline of 0.0), so a port that
+  stays idle for a whole run contributes no series at all, and a counter
+  that plateaus costs one point per change rather than one per tick.  The
+  timelines remain exact under step-interpolation: every change is recorded
+  at the tick it was first observed.
+* **Bounded memory.**  Each series is a ring buffer of ``max_samples``
+  points; older points fall off the front and are tallied in ``dropped``.
+
+Everything the recorder stores is a float or str, so its
+:meth:`~FlightRecorder.as_dict` snapshot pickles/JSON-serialises cheaply
+across worker process boundaries and merges deterministically.
+
+:func:`write_telemetry_jsonl` / :func:`read_telemetry_jsonl` define the
+line-oriented export format (one ``meta`` line, one ``run`` line per
+recorded run, one ``series`` line per series); ``repro trace`` renders it.
+:func:`write_telemetry_csv` flattens the same data for spreadsheet import.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Optional, Sequence, Union
+
+from repro._version import __version__
+
+#: JSONL schema version; bump on any incompatible format change.
+TELEMETRY_SCHEMA = 1
+
+
+class SeriesBuffer:
+    """One metric's bounded (time, value) ring buffer."""
+
+    def __init__(self, name: str, max_samples: int) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be at least 1, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self._times: deque[float] = deque(maxlen=max_samples)
+        self._values: deque[float] = deque(maxlen=max_samples)
+        #: points evicted from the front of the ring
+        self.dropped = 0
+        #: points ever appended (== len + dropped)
+        self.total = 0
+
+    def append(self, time: float, value: float) -> None:
+        """Append one point, evicting (and counting) the oldest when full."""
+        if len(self._times) == self.max_samples:
+            self.dropped += 1
+        self._times.append(time)
+        self._values.append(value)
+        self.total += 1
+
+    @property
+    def last(self) -> Optional[float]:
+        """The most recent value, or ``None`` for an empty series."""
+        return self._values[-1] if self._values else None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> dict:
+        """A JSON-safe snapshot: parallel time/value lists plus drop counts."""
+        return {
+            "t": list(self._times),
+            "v": list(self._values),
+            "dropped": self.dropped,
+            "total": self.total,
+        }
+
+
+class FlightRecorder:
+    """A set of named series buffers with sparse, change-only recording."""
+
+    def __init__(self, max_samples: int = 512) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be at least 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._series: dict[str, SeriesBuffer] = {}
+
+    def record(self, time: float, name: str, value: float) -> None:
+        """Record ``value`` for series ``name`` unless it is unchanged.
+
+        The implicit previous value of a never-recorded series is 0.0, so
+        all-zero series (idle ports, never-fired counters) are never
+        materialised.
+        """
+        value = float(value)
+        series = self._series.get(name)
+        if series is None:
+            if value == 0.0:
+                return
+            series = SeriesBuffer(name, self.max_samples)
+            self._series[name] = series
+        elif series.last == value:
+            return
+        series.append(time, value)
+
+    def series(self, name: str) -> Optional[SeriesBuffer]:
+        """The named series, or ``None`` if nothing was ever recorded for it."""
+        return self._series.get(name)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    @property
+    def num_points(self) -> int:
+        """Points currently buffered across every series."""
+        return sum(len(series) for series in self._series.values())
+
+    def as_dict(self) -> dict:
+        """A name-sorted, JSON-safe snapshot of every series."""
+        return {
+            name: self._series[name].as_dict() for name in sorted(self._series)
+        }
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One run's telemetry as collected by the executor.
+
+    ``label`` is the sweep label (``execute_jobs(label=...)``), ``key`` the
+    job's sweep-cell key, and ``data`` the plain dict built by the runner
+    (``schema``/``ticks``/``series``/``metrics``).
+    """
+
+    label: str
+    key: Hashable
+    data: dict = field(compare=False)
+
+    def canonical(self) -> dict:
+        """A JSON-safe identity+data dict (tuples in ``key`` become lists)."""
+        return {"label": self.label, "key": self.key, "data": self.data}
+
+
+def write_telemetry_jsonl(
+    records: Sequence[TelemetryRecord], path: Union[str, Path]
+) -> int:
+    """Write records as JSONL; returns the number of lines written.
+
+    Line 1 is a ``meta`` header; each record contributes one ``run`` line
+    (tick count and end-of-run metric snapshot) followed by one ``series``
+    line per recorded series, in sorted series order.
+    """
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {"kind": "meta", "schema": TELEMETRY_SCHEMA, "version": __version__},
+            sort_keys=True,
+        )
+    ]
+    for record in records:
+        data = record.data or {}
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "run",
+                    "label": record.label,
+                    "key": record.key,
+                    "ticks": data.get("ticks", 0),
+                    "metrics": data.get("metrics", {}),
+                },
+                sort_keys=True,
+            )
+        )
+        for name, series in sorted((data.get("series") or {}).items()):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "series",
+                        "label": record.label,
+                        "key": record.key,
+                        "name": name,
+                        **series,
+                    },
+                    sort_keys=True,
+                )
+            )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)
+
+
+def read_telemetry_jsonl(path: Union[str, Path]) -> dict:
+    """Parse a telemetry JSONL file into ``{"meta", "runs", "series"}`` lists.
+
+    ``runs`` and ``series`` preserve file order; unknown line kinds raise so
+    schema drift fails loudly rather than rendering nonsense.
+    """
+    meta: Optional[dict] = None
+    runs: list[dict] = []
+    series: list[dict] = []
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        kind = entry.get("kind")
+        if kind == "meta":
+            meta = entry
+        elif kind == "run":
+            runs.append(entry)
+        elif kind == "series":
+            series.append(entry)
+        else:
+            raise ValueError(f"{path}:{number}: unknown telemetry line kind {kind!r}")
+    if meta is None:
+        raise ValueError(f"{path}: missing telemetry meta line")
+    if meta.get("schema") != TELEMETRY_SCHEMA:
+        raise ValueError(
+            f"{path}: telemetry schema {meta.get('schema')!r} "
+            f"(this build reads schema {TELEMETRY_SCHEMA})"
+        )
+    return {"meta": meta, "runs": runs, "series": series}
+
+
+def write_telemetry_csv(
+    records: Sequence[TelemetryRecord], path: Union[str, Path]
+) -> int:
+    """Flatten records to ``label,key,series,t,value`` rows; returns row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", "key", "series", "t", "value"])
+        for record in records:
+            key = json.dumps(record.key)
+            for name, series in sorted(
+                ((record.data or {}).get("series") or {}).items()
+            ):
+                for t, v in zip(series["t"], series["v"]):
+                    writer.writerow([record.label, key, name, repr(t), repr(v)])
+                    rows += 1
+    return rows

@@ -5,12 +5,23 @@ A :class:`TraceLog` is an in-memory, filterable record of interesting events
 default so that large experiments pay no cost; tests and the examples enable
 it to assert on protocol behaviour ("at least one symbol was trimmed under
 Incast", "no data packet was ever dropped by a trimming switch").
+
+Memory is boundable: pass ``max_events`` to keep only the newest events in a
+ring buffer (older ones fall off the front and are tallied in ``dropped``),
+so an enabled trace on a long run cannot grow without limit.  A trace can
+also be bound to a :class:`~repro.obs.registry.MetricRegistry`, which then
+counts every recorded event under ``trace.<category>`` -- the counts survive
+ring-buffer eviction, unifying the trace with the telemetry layer.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.registry import MetricRegistry
 
 
 @dataclass(frozen=True)
@@ -27,12 +38,27 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An in-memory event trace with per-category filtering."""
+    """An in-memory event trace with per-category filtering and an optional bound."""
 
-    def __init__(self, enabled: bool = False, categories: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be at least 1, got {max_events}")
         self.enabled = enabled
         self.categories = set(categories) if categories is not None else None
-        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.events: deque[TraceEvent] = deque(maxlen=max_events)
+        #: events evicted from the ring buffer (0 for an unbounded trace)
+        self.dropped = 0
+        self._registry: Optional["MetricRegistry"] = None
+
+    def bind_registry(self, registry: Optional["MetricRegistry"]) -> None:
+        """Count subsequent events into ``trace.<category>`` registry counters."""
+        self._registry = registry
 
     def record(self, time: float, category: str, **details: Any) -> None:
         """Record an event if tracing is enabled and the category is selected."""
@@ -40,19 +66,24 @@ class TraceLog:
             return
         if self.categories is not None and category not in self.categories:
             return
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1
         self.events.append(TraceEvent(time=time, category=category, details=details))
+        if self._registry is not None:
+            self._registry.counter(f"trace.{category}").increment()
 
     def filter(self, category: str) -> list[TraceEvent]:
         """Return all recorded events of the given category."""
         return [event for event in self.events if event.category == category]
 
     def count(self, category: str) -> int:
-        """Return how many events of the given category were recorded."""
+        """Return how many *buffered* events of the given category remain."""
         return sum(1 for event in self.events if event.category == category)
 
     def clear(self) -> None:
-        """Discard all recorded events."""
+        """Discard all recorded events and reset the dropped counter."""
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)

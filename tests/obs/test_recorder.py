@@ -1,0 +1,154 @@
+"""Tests for the flight recorder's buffers and export formats."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    TELEMETRY_SCHEMA,
+    FlightRecorder,
+    SeriesBuffer,
+    TelemetryRecord,
+    read_telemetry_jsonl,
+    write_telemetry_csv,
+    write_telemetry_jsonl,
+)
+
+
+class TestSeriesBuffer:
+    def test_append_and_last(self):
+        series = SeriesBuffer("s", max_samples=4)
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+        assert series.last == 2.0
+        assert series.dropped == 0
+
+    def test_empty_last_is_none(self):
+        assert SeriesBuffer("s", max_samples=4).last is None
+
+    def test_ring_evicts_oldest_and_counts_dropped(self):
+        series = SeriesBuffer("s", max_samples=2)
+        for t in range(5):
+            series.append(float(t), float(t) * 10)
+        assert len(series) == 2
+        assert series.dropped == 3
+        assert series.total == 5
+        assert series.as_dict()["t"] == [3.0, 4.0]
+        assert series.as_dict()["v"] == [30.0, 40.0]
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            SeriesBuffer("s", max_samples=0)
+
+
+class TestFlightRecorder:
+    def test_sparse_zero_baseline_skips_idle_series(self):
+        recorder = FlightRecorder()
+        recorder.record(0.0, "idle", 0.0)
+        assert len(recorder) == 0
+        assert recorder.series("idle") is None
+
+    def test_unchanged_values_are_deduplicated(self):
+        recorder = FlightRecorder()
+        for t in range(5):
+            recorder.record(float(t), "plateau", 7.0)
+        series = recorder.series("plateau")
+        assert len(series) == 1
+        assert series.as_dict() == {"t": [0.0], "v": [7.0], "dropped": 0, "total": 1}
+
+    def test_changes_are_recorded_including_return_to_zero(self):
+        recorder = FlightRecorder()
+        recorder.record(0.0, "q", 3.0)
+        recorder.record(1.0, "q", 3.0)
+        recorder.record(2.0, "q", 0.0)
+        assert recorder.series("q").as_dict()["v"] == [3.0, 0.0]
+        assert recorder.num_points == 2
+
+    def test_as_dict_is_name_sorted(self):
+        recorder = FlightRecorder()
+        recorder.record(0.0, "b", 1.0)
+        recorder.record(0.0, "a", 1.0)
+        assert list(recorder.as_dict()) == ["a", "b"]
+
+    def test_max_samples_propagates_to_series(self):
+        recorder = FlightRecorder(max_samples=2)
+        for t in range(4):
+            recorder.record(float(t), "s", float(t + 1))
+        assert recorder.series("s").dropped == 2
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_samples=0)
+
+
+def _sample_records():
+    return [
+        TelemetryRecord(
+            label="sweep",
+            key=[1, "polyraptor"],
+            data={
+                "schema": TELEMETRY_SCHEMA,
+                "ticks": 3,
+                "series": {
+                    "queue.depth.p0": {"t": [0.1, 0.2], "v": [1.0, 2.0],
+                                       "dropped": 0, "total": 2},
+                },
+                "metrics": {"fct_ms": {"bounds": [1.0], "buckets": [1, 0],
+                                       "count": 1, "sum": 0.4}},
+            },
+        )
+    ]
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        lines = write_telemetry_jsonl(_sample_records(), path)
+        assert lines == 3  # meta + run + one series
+        parsed = read_telemetry_jsonl(path)
+        assert parsed["meta"]["schema"] == TELEMETRY_SCHEMA
+        assert parsed["runs"][0]["ticks"] == 3
+        assert parsed["runs"][0]["key"] == [1, "polyraptor"]
+        assert parsed["series"][0]["name"] == "queue.depth.p0"
+        assert parsed["series"][0]["v"] == [1.0, 2.0]
+
+    def test_missing_meta_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "run"}) + "\n")
+        with pytest.raises(ValueError, match="meta"):
+            read_telemetry_jsonl(path)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="mystery"):
+            read_telemetry_jsonl(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "meta", "schema": 999}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            read_telemetry_jsonl(path)
+
+    def test_deterministic_bytes(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_telemetry_jsonl(_sample_records(), first)
+        write_telemetry_jsonl(_sample_records(), second)
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestCsvExport:
+    def test_rows_and_header(self, tmp_path):
+        path = tmp_path / "telemetry.csv"
+        rows = write_telemetry_csv(_sample_records(), path)
+        assert rows == 2
+        with path.open(newline="") as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == ["label", "key", "series", "t", "value"]
+        assert parsed[1][0] == "sweep"
+        assert json.loads(parsed[1][1]) == [1, "polyraptor"]
+        assert float(parsed[1][3]) == 0.1
+        assert float(parsed[2][4]) == 2.0

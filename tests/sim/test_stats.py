@@ -66,6 +66,13 @@ class TestSummaryStats:
         assert stats.count == 0
         assert stats.variance == 0.0
 
+    def test_empty_stats_full_surface(self):
+        stats = SummaryStats()
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+        assert stats.minimum == float("inf")
+        assert stats.maximum == float("-inf")
+
 
 class TestRateEstimator:
     def test_rate_over_window(self):
@@ -89,3 +96,14 @@ class TestRateEstimator:
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             RateEstimator(window=0)
+
+    def test_rate_at_time_zero(self):
+        """At t=0 the full-window divisor dilutes the estimate but never divides
+        by zero; the telemetry layer's WindowedRate corrects the dilution."""
+        estimator = RateEstimator(window=1e-3)
+        estimator.record(0.0, 125)
+        assert estimator.rate_bps(0.0) == pytest.approx(125 * 8 / 1e-3)
+
+    def test_empty_estimator_rate_is_zero(self):
+        assert RateEstimator().rate_bps(0.0) == 0.0
+        assert RateEstimator().total_bytes == 0

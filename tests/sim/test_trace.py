@@ -42,3 +42,67 @@ class TestTraceLog:
         rendered = str(event)
         assert "drop" in rendered
         assert "port=p1" in rendered
+
+
+class TestTraceRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = TraceLog(enabled=True)
+        for index in range(1000):
+            trace.record(0.0, "x", index=index)
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+
+    def test_ring_keeps_newest_and_counts_dropped(self):
+        trace = TraceLog(enabled=True, max_events=3)
+        for index in range(7):
+            trace.record(float(index), "x", index=index)
+        assert len(trace) == 3
+        assert trace.dropped == 4
+        assert [event.details["index"] for event in trace.events] == [4, 5, 6]
+
+    def test_filtered_out_events_do_not_drop(self):
+        trace = TraceLog(enabled=True, categories={"keep"}, max_events=1)
+        trace.record(0.0, "keep")
+        for _ in range(5):
+            trace.record(0.0, "ignore")
+        assert trace.dropped == 0
+        assert trace.count("keep") == 1
+
+    def test_clear_resets_dropped(self):
+        trace = TraceLog(enabled=True, max_events=1)
+        trace.record(0.0, "x")
+        trace.record(0.0, "x")
+        assert trace.dropped == 1
+        trace.clear()
+        assert trace.dropped == 0
+        assert len(trace) == 0
+
+    def test_rejects_bad_bound(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceLog(max_events=0)
+
+
+class TestTraceRegistryBinding:
+    def test_counts_survive_eviction(self):
+        from repro.obs.registry import MetricRegistry
+
+        registry = MetricRegistry()
+        trace = TraceLog(enabled=True, max_events=2)
+        trace.bind_registry(registry)
+        for _ in range(5):
+            trace.record(0.0, "switch.trim")
+        trace.record(0.0, "session.done")
+        assert len(trace) == 2  # ring kept only the newest two
+        assert registry.counter("trace.switch.trim").value == 5
+        assert registry.counter("trace.session.done").value == 1
+
+    def test_disabled_trace_counts_nothing(self):
+        from repro.obs.registry import MetricRegistry
+
+        registry = MetricRegistry()
+        trace = TraceLog()
+        trace.bind_registry(registry)
+        trace.record(0.0, "x")
+        assert len(registry) == 0
