@@ -348,6 +348,100 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     )
 
 
+def _size_type(value: str) -> int:
+    """Parse a byte size with an optional k/M suffix (binary multiples)."""
+    text = value.strip().lower()
+    factor = 1
+    if text.endswith("k"):
+        factor, text = 1024, text[:-1]
+    elif text.endswith("m"):
+        factor, text = 1024 * 1024, text[:-1]
+    try:
+        size = int(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {value!r}") from None
+    if size <= 0:
+        raise argparse.ArgumentTypeError("size must be positive")
+    return size
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.net import ObjectStore, run_server
+    from repro.net.server import deterministic_object
+
+    store = ObjectStore()
+    for spec in args.object or []:
+        name, _, size = spec.partition("=")
+        if not name or not size:
+            raise SystemExit(f"--object expects NAME=SIZE, got {spec!r}")
+        store.put(name, deterministic_object(_size_type(size), seed=name))
+    for path in args.file or []:
+        import os
+
+        with open(path, "rb") as handle:
+            store.put(os.path.basename(path), handle.read())
+    if len(store) == 0:
+        raise SystemExit("serve needs at least one --object NAME=SIZE or --file PATH")
+
+    async def _serve():
+        ready = asyncio.Event()
+        task = asyncio.ensure_future(
+            run_server(
+                store,
+                host=args.host,
+                port=args.port,
+                loss_rate=args.loss,
+                loss_seed=args.loss_seed,
+                max_sessions=args.max_sessions,
+                ready=ready,
+            )
+        )
+        await ready.wait()
+        print(
+            f"serving {len(store)} object(s) on {args.host}:{args.port}: "
+            + " ".join(store.names()),
+            flush=True,
+        )
+        return await task
+
+    protocol = asyncio.run(_serve())
+    return (
+        f"served {protocol.sessions_completed} session(s) "
+        f"(frames dropped: {protocol.frames_dropped}, "
+        f"malformed: {protocol.malformed_frames})"
+    )
+
+
+def _cmd_fetch(args: argparse.Namespace) -> str:
+    import hashlib
+
+    from repro.net import FetchError, fetch_object
+
+    try:
+        data = fetch_object(
+            args.name,
+            host=args.host,
+            port=args.port,
+            loss_rate=args.loss,
+            loss_seed=args.loss_seed,
+            transfer_timeout_s=args.timeout,
+        )
+    except FetchError as exc:
+        raise SystemExit(f"fetch failed: {exc}") from exc
+    digest = hashlib.sha256(data).hexdigest()
+    if args.output is not None:
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+    if args.expect_sha256 is not None and args.expect_sha256 != digest:
+        raise SystemExit(
+            f"sha256 mismatch for {args.name!r}: got {digest}, "
+            f"expected {args.expect_sha256}"
+        )
+    return f"{args.name}: {len(data)} bytes sha256={digest}"
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     return "\n\n".join(
         [
@@ -447,6 +541,47 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--limit", type=int, default=20, metavar="N",
                        help="series rendered per run (default 20)")
     trace.set_defaults(handler=_cmd_trace)
+
+    # ``serve`` / ``fetch`` are real-network endpoints (repro.net) completing
+    # actual UDP object transfers; like ``trace`` they take none of the
+    # simulation flags.
+    serve = subparsers.add_parser(
+        "serve", help="serve named objects over UDP (Polyraptor wire protocol)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=9109, help="UDP port (default 9109)")
+    serve.add_argument("--object", action="append", metavar="NAME=SIZE",
+                       help="serve a deterministic object of SIZE bytes "
+                            "(k/M suffixes allowed; bytes derived from NAME, "
+                            "so fetchers can verify the hash independently); "
+                            "repeatable")
+    serve.add_argument("--file", action="append", metavar="PATH",
+                       help="serve a file's bytes under its basename; repeatable")
+    serve.add_argument("--loss", type=float, default=0.0, metavar="P",
+                       help="drop arriving frames with probability P (testing)")
+    serve.add_argument("--loss-seed", type=int, default=0,
+                       help="seed for the induced-loss stream")
+    serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                       help="exit after N completed sessions (default: serve forever)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    fetch = subparsers.add_parser(
+        "fetch", help="fetch one named object from a running `repro serve`"
+    )
+    fetch.add_argument("name", help="object name to fetch")
+    fetch.add_argument("--host", default="127.0.0.1", help="server address")
+    fetch.add_argument("--port", type=int, default=9109, help="server UDP port")
+    fetch.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="write the fetched bytes to PATH")
+    fetch.add_argument("--loss", type=float, default=0.0, metavar="P",
+                       help="drop arriving symbol frames with probability P (testing)")
+    fetch.add_argument("--loss-seed", type=int, default=1,
+                       help="seed for the induced-loss stream")
+    fetch.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="overall transfer deadline in seconds")
+    fetch.add_argument("--expect-sha256", default=None, metavar="HEX",
+                       help="fail unless the fetched bytes hash to HEX")
+    fetch.set_defaults(handler=_cmd_fetch)
     return parser
 
 

@@ -111,6 +111,15 @@ class PolyraptorConfig:
     gray_window_symbols: int = 32
     #: EWMA weight of the newest per-window loss sample.
     gray_ewma_weight: float = 0.3
+    #: real-network loss recovery: when True, a receiver that detects a
+    #: sequence gap on an arriving symbol immediately enqueues one extra
+    #: pull per newly missing symbol (capped at ``initial_window_symbols``
+    #: per arrival).  On a real wire a lost datagram vanishes silently --
+    #: there is no trimmed header to keep the pull clock running -- so gap
+    #: pulls replace the lost credits; the stall timer remains the backstop
+    #: for trailing losses.  The simulator's trimming fabric never needs
+    #: this, so it defaults off and sim runs are byte-identical.
+    pull_on_gap: bool = False
     codec_backend: str = "planned"
     codec_kernel: str = "auto"
 

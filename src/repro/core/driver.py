@@ -1,0 +1,103 @@
+"""Sim-clock driver machinery shared by the core's session wrappers.
+
+:class:`SimSessionDriver` is the glue between a pure protocol core
+(:mod:`repro.protocol`) and the discrete-event simulator: every input event
+is forwarded to the core with ``sim.now`` as its clock, then the core's
+buffered actions are drained and applied **in emission order** -- packets
+through ``host.send``, timers onto :class:`repro.sim.process.Timer`
+instances, pulls into the agent's shared pacer.  Preserving that order is
+what keeps post-refactor simulations byte-identical to the historical
+monolithic sessions (the fingerprint suite enforces it).
+
+Attribute access not found on the wrapper falls through to the core, so
+counters and protocol state (``symbols_sent``, ``completed``, ``oti``, ...)
+read exactly as before the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.network.packet import Packet, PacketKind, make_control_packet
+from repro.protocol.actions import (
+    KIND_DATA,
+    SendPacket,
+    SessionCompleted,
+    SetTimer,
+    StopTimer,
+)
+
+
+class SimSessionDriver:
+    """Base class for sim-side session wrappers around a protocol core.
+
+    Subclasses populate ``self.agent`` (the owning
+    :class:`~repro.core.agent.PolyraptorAgent`), ``self.core`` (the protocol
+    state machine), ``self.session_id`` and ``self._timers`` (timer name ->
+    :class:`~repro.sim.process.Timer`).
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        # Fallback for anything the wrapper does not define: delegate to the
+        # protocol core so pre-refactor attribute reads keep working.
+        try:
+            core = self.__dict__["core"]
+        except KeyError:
+            raise AttributeError(name) from None
+        return getattr(core, name)
+
+    def _drain(self) -> None:
+        """Apply every buffered core action, in order, until none remain."""
+        actions = self.core.poll_actions()
+        while actions:
+            for action in actions:
+                self._apply(action)
+            actions = self.core.poll_actions()
+
+    def _apply(self, action: Any) -> None:
+        if isinstance(action, SendPacket):
+            self.agent.host.send(self._packet_for(action))
+        elif isinstance(action, SetTimer):
+            self._timers[action.name].start(action.delay_s)
+        elif isinstance(action, StopTimer):
+            self._timers[action.name].stop()
+        elif isinstance(action, SessionCompleted):
+            self._on_session_completed(action)
+        else:
+            self._apply_extra(action)
+
+    def _packet_for(self, action: SendPacket) -> Packet:
+        if action.kind == KIND_DATA:
+            return Packet(
+                protocol=self.agent.PROTOCOL,
+                src=self.agent.host.node_id,
+                dst=action.dest,
+                multicast_group=action.multicast_group,
+                size_bytes=action.size_bytes,
+                kind=PacketKind.DATA,
+                flow_id=self.session_id,
+                header_bytes=self.core.config.header_bytes,
+                payload=action.payload,
+                created_at=self.agent.sim.now,
+            )
+        return make_control_packet(
+            protocol=self.agent.PROTOCOL,
+            src=self.agent.host.node_id,
+            dst=action.dest,
+            payload=action.payload,
+            flow_id=self.session_id,
+            size_bytes=action.size_bytes,
+            created_at=self.agent.sim.now,
+        )
+
+    def _on_timer(self, name: str) -> None:
+        self.core.on_timer(name, self.agent.sim.now)
+        self._drain()
+
+    # Hooks -----------------------------------------------------------------------
+
+    def _on_session_completed(self, action: SessionCompleted) -> None:
+        raise NotImplementedError
+
+    def _apply_extra(self, action: Any) -> None:
+        raise TypeError(f"unexpected protocol action: {action!r}")

@@ -1,41 +1,27 @@
-"""The per-host pull pacer.
+"""The per-host pull pacer (sim binding of the shared paced pull queue).
 
-The paper, section 2: *"The data transport layer at each receiver has only
-one pull queue shared by all sessions.  A pull request is added to this queue
-upon receiving a full or trimmed symbol.  The receiver then paces pull
-packets across all sessions, so that the aggregate data rate matches the
-receiver's link capacity."*
-
-The pacer therefore:
-
-* keeps one FIFO of pending pulls **per session** and serves sessions in
-  round-robin order (so a single large session cannot starve others);
-* emits at most one pull per *data-packet serialisation time* of the
-  receiver's link, because each pull elicits one symbol-sized packet in
-  return -- pacing pulls at that interval caps the aggregate arrival rate at
-  the link capacity;
-* sends the first pull of an idle period immediately (no pacing delay when
-  the link has been idle).
+All of the queueing/fairness/pacing logic lives in
+:class:`repro.protocol.pacer.PacedPullQueue`; this subclass binds it to a
+simulated host: the base interval is the serialisation time of one symbol
+packet on the host's link, pulls are scheduled on the simulator's event
+heap and sent through the host's NIC.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.core.config import PolyraptorConfig
 from repro.network.host import Host
-from repro.network.packet import Packet
+from repro.protocol.pacer import PacedPullQueue, PullBuilder
 from repro.sim.engine import Simulator
 from repro.transport.tfrc import TfrcController
 from repro.utils.units import serialization_delay
 
-#: A deferred pull: a callable that builds the pull packet at send time (so
-#: the block hint reflects the receiver's latest state).
-PullBuilder = Callable[[], Optional[Packet]]
+__all__ = ["PullBuilder", "PullPacer"]
 
 
-class PullPacer:
+class PullPacer(PacedPullQueue):
     """One pull queue per receiving host, shared by all of its sessions.
 
     With ``PolyraptorConfig.tfrc_pacing`` the pacer carries a host-level
@@ -48,89 +34,18 @@ class PullPacer:
     """
 
     def __init__(self, sim: Simulator, host: Host, config: PolyraptorConfig) -> None:
-        self._sim = sim
-        self._host = host
-        self.config = config
-        self.pull_interval_s = serialization_delay(
-            config.symbol_packet_bytes, host.link_rate_bps
-        )
-        self.tfrc: Optional[TfrcController] = None
+        tfrc: Optional[TfrcController] = None
         if config.tfrc_pacing:
-            self.tfrc = TfrcController(
+            tfrc = TfrcController(
                 segment_bytes=config.symbol_packet_bytes,
                 max_rate_bps=host.link_rate_bps,
             )
-        self._queues: dict[int, deque[PullBuilder]] = {}
-        self._round_robin: deque[int] = deque()
-        self._pacing = False
-        self.pulls_sent = 0
-        self.pulls_discarded = 0
-
-    @property
-    def pending_pulls(self) -> int:
-        """Number of pulls waiting to be sent across all sessions."""
-        return sum(len(queue) for queue in self._queues.values())
-
-    def pending_for_session(self, session_id: int) -> int:
-        """Number of pulls waiting for one session."""
-        queue = self._queues.get(session_id)
-        return len(queue) if queue else 0
-
-    def enqueue(self, session_id: int, builder: PullBuilder) -> None:
-        """Add one pull for a session; starts the pacer if it was idle."""
-        queue = self._queues.get(session_id)
-        if queue is None:
-            queue = deque()
-            self._queues[session_id] = queue
-        if not queue and session_id not in self._round_robin:
-            self._round_robin.append(session_id)
-        elif not queue:
-            # Session already in the round-robin ring with an empty queue
-            # (possible when pulls were cancelled); nothing to do.
-            pass
-        queue.append(builder)
-        if not self._pacing:
-            self._pacing = True
-            self._send_next()
-
-    def cancel_session(self, session_id: int) -> None:
-        """Discard every pending pull of a session (used when it completes)."""
-        queue = self._queues.pop(session_id, None)
-        if queue:
-            self.pulls_discarded += len(queue)
-        try:
-            self._round_robin.remove(session_id)
-        except ValueError:
-            pass
-
-    def _next_session(self) -> Optional[int]:
-        for _ in range(len(self._round_robin)):
-            session_id = self._round_robin[0]
-            self._round_robin.rotate(-1)
-            queue = self._queues.get(session_id)
-            if queue:
-                return session_id
-        return None
-
-    def _send_next(self) -> None:
-        session_id = self._next_session()
-        if session_id is None:
-            self._pacing = False
-            return
-        builder = self._queues[session_id].popleft()
-        packet = builder()
-        if packet is not None:
-            self._host.send(packet)
-            self.pulls_sent += 1
-        else:
-            self.pulls_discarded += 1
-        # Pace the next pull one data-packet time later (stretched to the
-        # TFRC-allowed rate when rate control is on), even if the builder
-        # declined to send (its slot is spent either way).
-        self._sim.schedule(self.current_interval_s(), self._send_next)
-
-    def current_interval_s(self) -> float:
-        """The inter-pull gap in force right now."""
-        if self.tfrc is None:
-            return self.pull_interval_s
-        return max(self.pull_interval_s, self.tfrc.send_interval_s())
+        super().__init__(
+            base_interval_s=serialization_delay(
+                config.symbol_packet_bytes, host.link_rate_bps
+            ),
+            schedule=sim.schedule,
+            send=host.send,
+            tfrc=tfrc,
+        )
+        self.config = config

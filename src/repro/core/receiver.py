@@ -1,48 +1,36 @@
-"""Polyraptor receiver sessions.
+"""Polyraptor receiver sessions (sim driver).
 
-A receiver session:
-
-* tracks, per source block, which encoding symbols have arrived (or actually
-  feeds them to a RaptorQ decoder in payload mode);
-* adds one pull request to the host's shared pull pacer for every **full or
-  trimmed** symbol that arrives while the session is incomplete -- a trimmed
-  header still tells the receiver that a symbol was sent (and lost), so the
-  pull keeps the self-clocking loop running without ever re-requesting the
-  specific lost symbol;
-* declares a block complete once it holds all K source symbols, or any
-  K + overhead distinct symbols otherwise;
-* when every block is complete, sends DONE to every sender, cancels pending
-  pulls, and reports completion.
-
-For many-to-one (multi-source) sessions the receiver is the initiator: it
-sends a REQUEST to each replica holder, then pulls from whichever sender's
-symbols arrive -- a fast sender's symbols arrive more often, so it receives
-more pulls, which is the paper's "natural load balancing" mechanism.
+All protocol decisions -- symbol accounting, pull generation, stall
+recovery, DONE retransmission, decode handling -- live in the
+transport-agnostic :class:`repro.protocol.receiver.ReceiverCore`; this
+module binds one core to the simulator: events in with ``sim.now``, the
+core's actions out through the host's NIC, the event heap and the agent's
+shared pull pacer (deferred pulls are built back through
+:meth:`~repro.protocol.receiver.ReceiverCore.build_pull` at send time).
+See :mod:`repro.core.driver` for the action-application contract.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.core.config import PolyraptorConfig
-from repro.core.packets import (
-    DoneAckPayload,
-    DonePayload,
-    PullPayload,
-    RequestPayload,
-    SymbolPayload,
-)
-from repro.core.straggler import PathLossEstimator
+from repro.core.driver import SimSessionDriver
+from repro.core.packets import DoneAckPayload, SymbolPayload
 from repro.network.packet import Packet, make_control_packet
-from repro.rq.block import EncodedSymbol, ObjectDecoder, partition_object
-from repro.rq.decoder import DecodeFailure
+from repro.protocol.actions import (
+    CancelPulls,
+    EnqueuePull,
+    SessionCompleted,
+    TransportFeedback,
+)
+from repro.protocol.receiver import ReceiverCore
 from repro.sim.process import Timer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.agent import PolyraptorAgent
 
 
-class ReceiverSession:
+class ReceiverSession(SimSessionDriver):
     """Receiver-side state for one Polyraptor session on one host."""
 
     def __init__(
@@ -54,79 +42,37 @@ class ReceiverSession:
         on_complete: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.agent = agent
-        self.config: PolyraptorConfig = agent.config
+        self.config = agent.config
         self.session_id = session_id
-        self.object_bytes = object_bytes
-        self.expected_senders = list(expected_senders) if expected_senders else []
         self._on_complete = on_complete
-
-        self.oti = partition_object(
-            object_bytes, self.config.symbol_size_bytes, self.config.max_symbols_per_block
+        self.core = ReceiverCore(
+            config=agent.config,
+            session_id=session_id,
+            object_bytes=object_bytes,
+            local_host=agent.host.node_id,
+            expected_senders=expected_senders,
+            codec=agent.codec,
+            now=agent.sim.now,
         )
-        self._received: list[set[int]] = [set() for _ in range(self.oti.num_source_blocks)]
-        self._complete_blocks: set[int] = set()
-        self._known_senders: set[int] = set(self.expected_senders)
-        self._stall_sender_cursor = 0
-        self._pull_sequence = 0
+        self._stall_timer = Timer(
+            agent.sim, lambda: self._on_timer(ReceiverCore.TIMER_STALL)
+        )
+        self._done_timer = Timer(
+            agent.sim, lambda: self._on_timer(ReceiverCore.TIMER_DONE)
+        )
+        self._timers = {
+            ReceiverCore.TIMER_STALL: self._stall_timer,
+            ReceiverCore.TIMER_DONE: self._done_timer,
+        }
+        # The core arms its stall timer at construction.
+        self._drain()
 
-        self._decoder: Optional[ObjectDecoder] = None
-        if self.config.carry_payload:
-            self._decoder = ObjectDecoder(self.oti, context=agent.codec)
-        self.received_data: Optional[bytes] = None
-
-        self.completed = False
-        self.completion_time: Optional[float] = None
-        self.start_time = agent.sim.now
-        self.symbols_received = 0
-        self.trimmed_received = 0
-        self.duplicate_symbols = 0
-        self.stall_events = 0
-        self.done_retries = 0
-        self.ce_received = 0
-        self._done_acked: set[int] = set()
-
-        #: per-path loss state, keyed by (sender, stream) where stream is
-        #: ``None`` for the sender's multicast emission stream and this
-        #: host's id for symbols the sender unicast to us -- the two streams
-        #: carry independent sequence counters.  The estimate echoed back on
-        #: pulls is the one of the stream that delivered most recently.
-        self._loss_estimators: dict[tuple[int, Optional[int]], PathLossEstimator] = {}
-        self._last_stream: dict[int, Optional[int]] = {}
-        #: congestion signals (CE marks + trims) seen per sender since the
-        #: last pull we built toward that sender.
-        self._congestion_since_pull: dict[int, int] = {}
-
-        self._stall_timer = Timer(agent.sim, self._on_stall)
-        self._stall_timer.start(self.config.stall_timeout_s)
-        self._done_timer = Timer(agent.sim, self._retry_done)
-
-    # Session initiation -----------------------------------------------------------
+    # Events --------------------------------------------------------------------------
 
     def start_fetch(self) -> None:
         """Initiate a many-to-one fetch: send a REQUEST to every replica holder."""
-        if not self.expected_senders:
-            raise ValueError("a fetch session needs at least one sender")
-        num_senders = len(self.expected_senders)
-        for index, sender in enumerate(self.expected_senders):
-            request = RequestPayload(
-                session_id=self.session_id,
-                receiver_host=self.agent.host.node_id,
-                object_bytes=self.object_bytes,
-                sender_index=index,
-                num_senders=num_senders,
-            )
-            packet = make_control_packet(
-                protocol=self.agent.PROTOCOL,
-                src=self.agent.host.node_id,
-                dst=sender,
-                payload=request,
-                flow_id=self.session_id,
-                size_bytes=self.config.control_bytes,
-                created_at=self.agent.sim.now,
-            )
-            self.agent.host.send(packet)
-
-    # Symbol handling ----------------------------------------------------------------
+        self.core.start_fetch()
+        self._drain()
 
     def on_symbol(
         self,
@@ -136,145 +82,45 @@ class ReceiverSession:
         multicast: bool = False,
         sent_at: float = 0.0,
     ) -> None:
-        """Process one arriving symbol packet (full or trimmed).
+        """Process one arriving symbol packet (full or trimmed)."""
+        self.core.on_symbol(
+            payload,
+            trimmed,
+            ce=ce,
+            multicast=multicast,
+            sent_at=sent_at,
+            now=self.agent.sim.now,
+        )
+        self._drain()
 
-        ``ce`` is the packet's CE mark, ``multicast`` whether it travelled
-        the sender's multicast stream (its sequence counter is separate from
-        the unicast one), ``sent_at`` the sender-side emission time (0.0
-        when unknown) used for RTT samples.
-        """
-        if self.completed:
-            return
-        self._known_senders.add(payload.sender_host)
-        self._stall_timer.restart(self.config.stall_timeout_s)
-        self._account_path(payload, trimmed=trimmed, ce=ce, multicast=multicast,
-                           sent_at=sent_at)
+    def on_done_ack(self, ack: DoneAckPayload) -> None:
+        """A sender confirmed our DONE; stop retrying once every sender has."""
+        self.core.on_done_ack(ack)
+        self._drain()
 
-        if trimmed:
-            # The payload was cut by a switch; the header alone still triggers
-            # a pull -- the lost symbol itself is never re-requested.
-            self.trimmed_received += 1
+    # Action hooks ---------------------------------------------------------------------
+
+    def _apply_extra(self, action: Any) -> None:
+        if isinstance(action, EnqueuePull):
+            target = action.target_sender
+            self.agent.pacer.enqueue(self.session_id, lambda: self._build_pull(target))
+        elif isinstance(action, CancelPulls):
+            self.agent.pacer.cancel_session(action.session_id)
+        elif isinstance(action, TransportFeedback):
+            tfrc = self.agent.pacer.tfrc
+            if tfrc is not None:
+                tfrc.on_packet(action.packets)
+                if action.rtt_sample_s is not None:
+                    tfrc.on_rtt_sample(action.rtt_sample_s)
+                if action.congestion:
+                    tfrc.on_congestion(action.now_s)
         else:
-            self._record_symbol(payload)
-            if self._session_complete():
-                self._finish()
-                return
-        self._request_more(payload.sender_host)
-
-    def _account_path(
-        self,
-        payload: SymbolPayload,
-        trimmed: bool,
-        ce: bool,
-        multicast: bool,
-        sent_at: float,
-    ) -> None:
-        """Fold one arrival into loss estimation, ECN echo state and TFRC.
-
-        Pure bookkeeping: no events are scheduled and no packets sent, so
-        runs with all congestion features off stay byte-identical.
-        """
-        sender = payload.sender_host
-        stream: Optional[int] = None if multicast else self.agent.host.node_id
-        estimator = self._loss_estimators.get((sender, stream))
-        if estimator is None:
-            estimator = PathLossEstimator(
-                window_symbols=self.config.gray_window_symbols,
-                ewma_weight=self.config.gray_ewma_weight,
-            )
-            self._loss_estimators[(sender, stream)] = estimator
-        estimator.on_symbol(payload.sequence)
-        self._last_stream[sender] = stream
-        if ce:
-            self.ce_received += 1
-        if ce or trimmed:
-            self._congestion_since_pull[sender] = (
-                self._congestion_since_pull.get(sender, 0) + 1
-            )
-        tfrc = self.agent.pacer.tfrc
-        if tfrc is not None:
-            tfrc.on_packet()
-            if sent_at > 0.0:
-                tfrc.on_rtt_sample(2.0 * (self.agent.sim.now - sent_at))
-            if ce or trimmed:
-                # Congestion signals only: a sequence gap under packet spray
-                # is usually reordering, and non-congestive path loss is the
-                # gray-detection side's job, not the rate controller's.
-                tfrc.on_congestion(self.agent.sim.now)
-
-    def path_loss_estimate(self, sender: int) -> float:
-        """The EWMA loss estimate for the most recently used stream of a sender."""
-        stream = self._last_stream.get(sender)
-        if sender not in self._last_stream:
-            return 0.0
-        estimator = self._loss_estimators.get((sender, stream))
-        return estimator.loss_estimate if estimator is not None else 0.0
-
-    def path_loss_estimates(self) -> dict[int, float]:
-        """Current per-sender loss estimates, in sorted sender order.
-
-        One entry per sender that has delivered at least one symbol; the
-        value is :meth:`path_loss_estimate` for that sender's most recent
-        stream.  Used by telemetry and reporting.
-        """
-        return {
-            sender: self.path_loss_estimate(sender)
-            for sender in sorted(self._last_stream)
-        }
-
-    def _record_symbol(self, payload: SymbolPayload) -> None:
-        block = payload.block_number
-        if block in self._complete_blocks:
-            self.duplicate_symbols += 1
-            return
-        received = self._received[block]
-        if payload.esi in received:
-            self.duplicate_symbols += 1
-            return
-        received.add(payload.esi)
-        self.symbols_received += 1
-        if self._decoder is not None and payload.data is not None:
-            self._decoder.add_symbol(
-                EncodedSymbol(block_number=block, esi=payload.esi, data=payload.data)
-            )
-        if self._block_complete(block):
-            self._complete_blocks.add(block)
-
-    def _block_complete(self, block: int) -> bool:
-        k = self.oti.block_symbol_count(block)
-        received = self._received[block]
-        source_count = sum(1 for esi in received if esi < k)
-        if source_count == k:
-            return True
-        return len(received) >= k + self.config.decode_overhead_symbols
-
-    def _session_complete(self) -> bool:
-        return len(self._complete_blocks) == self.oti.num_source_blocks
-
-    # Pull generation -------------------------------------------------------------------
-
-    def lowest_incomplete_block(self) -> Optional[int]:
-        """The first block that still needs symbols (None when all complete)."""
-        for block in range(self.oti.num_source_blocks):
-            if block not in self._complete_blocks:
-                return block
-        return None
-
-    def _request_more(self, target_sender: int) -> None:
-        self.agent.pacer.enqueue(self.session_id, lambda: self._build_pull(target_sender))
+            super()._apply_extra(action)
 
     def _build_pull(self, target_sender: int) -> Optional[Packet]:
-        if self.completed:
+        pull = self.core.build_pull(target_sender)
+        if pull is None:
             return None
-        self._pull_sequence += 1
-        pull = PullPayload(
-            session_id=self.session_id,
-            receiver_host=self.agent.host.node_id,
-            pull_sequence=self._pull_sequence,
-            block_hint=self.lowest_incomplete_block(),
-            congestion_echo=self._congestion_since_pull.pop(target_sender, 0),
-            loss_estimate=self.path_loss_estimate(target_sender),
-        )
         return make_control_packet(
             protocol=self.agent.PROTOCOL,
             src=self.agent.host.node_id,
@@ -285,86 +131,6 @@ class ReceiverSession:
             created_at=self.agent.sim.now,
         )
 
-    # Stall recovery ---------------------------------------------------------------------
-
-    def _on_stall(self) -> None:
-        """Nothing arrived for a while: re-issue pulls so the session cannot deadlock."""
-        if self.completed:
-            return
-        self.stall_events += 1
-        senders = sorted(self._known_senders) or sorted(self.expected_senders)
-        if senders:
-            incomplete_blocks = [
-                block
-                for block in range(self.oti.num_source_blocks)
-                if block not in self._complete_blocks
-            ]
-            pulls_to_issue = max(1, min(len(incomplete_blocks), 4))
-            for _ in range(pulls_to_issue):
-                target = senders[self._stall_sender_cursor % len(senders)]
-                self._stall_sender_cursor += 1
-                self._request_more(target)
-        self._stall_timer.start(self.config.stall_timeout_s)
-
-    # Completion --------------------------------------------------------------------------
-
-    def _finish(self) -> None:
-        if self.completed:
-            return
-        if self._decoder is not None:
-            try:
-                self.received_data = self._decoder.decode()
-            except DecodeFailure:
-                # Extremely rare: the collected overhead was not sufficient.
-                # Keep the session open and pull a few more symbols.
-                for block in list(self._complete_blocks):
-                    if not self._decoder.block_decoder(block).is_decoded:
-                        self._complete_blocks.discard(block)
-                for sender in sorted(self._known_senders) or [0]:
-                    self._request_more(sender)
-                return
-        self.completed = True
-        self.completion_time = self.agent.sim.now
-        self._stall_timer.stop()
-        self.agent.pacer.cancel_session(self.session_id)
-        self._broadcast_done()
-        if self.config.done_retry_limit > 0:
-            self._done_timer.start(self.config.stall_timeout_s)
+    def _on_session_completed(self, action: SessionCompleted) -> None:
         if self._on_complete is not None:
-            self._on_complete(self.agent.sim.now)
-
-    def _broadcast_done(self) -> None:
-        """Send DONE to every sender that has not acknowledged one yet."""
-        unacked = (self._known_senders | set(self.expected_senders)) - self._done_acked
-        for sender in sorted(unacked):
-            done = DonePayload(session_id=self.session_id, receiver_host=self.agent.host.node_id)
-            packet = make_control_packet(
-                protocol=self.agent.PROTOCOL,
-                src=self.agent.host.node_id,
-                dst=sender,
-                payload=done,
-                flow_id=self.session_id,
-                size_bytes=self.config.control_bytes,
-                created_at=self.agent.sim.now,
-            )
-            self.agent.host.send(packet)
-
-    def on_done_ack(self, ack: DoneAckPayload) -> None:
-        """A sender confirmed our DONE; stop retrying once every sender has."""
-        self._done_acked.add(ack.sender_host)
-        if not (self._known_senders | set(self.expected_senders)) - self._done_acked:
-            self._done_timer.stop()
-
-    def _retry_done(self) -> None:
-        """Re-send the unacknowledged DONE with exponential backoff.
-
-        A DONE lost to the fabric (a fault-downed link, a trimming overflow)
-        would leave the sender pull-clocked on a receiver that will never
-        pull again.  Acks cancel the retries in the healthy case; the
-        ``done_retry_limit`` cap keeps the event heap finite when a sender
-        stays unreachable to the end of the run.
-        """
-        self.done_retries += 1
-        self._broadcast_done()
-        if self.done_retries < self.config.done_retry_limit:
-            self._done_timer.start(self.config.stall_timeout_s * (2 ** self.done_retries))
+            self._on_complete(action.time_s)

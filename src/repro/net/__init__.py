@@ -1,0 +1,45 @@
+"""Real-network Polyraptor: asyncio UDP endpoints over the protocol core.
+
+This package drives the exact same state machines as the simulator
+(:mod:`repro.protocol`) from real sockets:
+
+* :mod:`repro.net.wire` -- versioned binary framing for every protocol
+  packet plus the OPEN handshake that maps object names to sessions;
+* :mod:`repro.net.scheduler` -- the clock/timer abstraction
+  (:class:`AsyncioScheduler` for real endpoints,
+  :class:`ManualScheduler` for deterministic tests);
+* :mod:`repro.net.driver` -- sender/receiver drivers applying core actions
+  to a datagram transport, and :func:`wire_config`, the
+  :class:`~repro.core.config.PolyraptorConfig` profile tuned for lossy UDP;
+* :mod:`repro.net.server` / :mod:`repro.net.client` -- the
+  ``repro serve`` / ``repro fetch`` endpoints completing real loopback
+  object transfers.
+
+Only the Python standard library's ``asyncio`` is used -- no extra
+dependencies.
+"""
+
+from repro.net.client import FetchError, fetch_object, fetch_object_async
+from repro.net.driver import NetReceiverDriver, NetSenderDriver, wire_config
+from repro.net.scheduler import AsyncioScheduler, ManualScheduler, NetTimer
+from repro.net.server import DEFAULT_PORT, ObjectStore, PolyraptorServerProtocol, run_server
+from repro.net.wire import WireError, decode_frame, encode_frame
+
+__all__ = [
+    "AsyncioScheduler",
+    "DEFAULT_PORT",
+    "FetchError",
+    "ManualScheduler",
+    "NetReceiverDriver",
+    "NetSenderDriver",
+    "NetTimer",
+    "ObjectStore",
+    "PolyraptorServerProtocol",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+    "fetch_object",
+    "fetch_object_async",
+    "run_server",
+    "wire_config",
+]

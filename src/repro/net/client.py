@@ -1,0 +1,218 @@
+"""The ``repro fetch`` endpoint: retrieve one named object over real UDP.
+
+A fetch is three phases on one socket:
+
+1. **Open** -- send ``OPEN(name)`` until an ``OPEN_OK`` (session id +
+   object size) or ``OPEN_ERR`` arrives; retransmits are idempotent
+   server-side, so a lost grant costs one round trip.
+2. **Transfer** -- run a :class:`~repro.protocol.receiver.ReceiverCore`
+   through :class:`~repro.net.driver.NetReceiverDriver`: the REQUEST goes
+   out (retransmitted if the server stays silent), symbols stream back,
+   pulls are paced by TFRC, and the stall timer plus gap-triggered pulls
+   recover from datagram loss.
+3. **Linger** -- after decoding completes, stay up briefly so DONE
+   retransmissions can land their acks and the server can retire the
+   session cleanly.
+
+An optional seeded loss rate drops arriving *symbol* frames before they
+reach the protocol core, turning a clean loopback into a reproducibly
+lossy path for integration tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DoneAckPayload, SymbolPayload
+from repro.net.driver import DEFAULT_WIRE_RATE_BPS, NetReceiverDriver, wire_config
+from repro.net.scheduler import AsyncioScheduler
+from repro.net.server import CLIENT_HOST_ID, DEFAULT_PORT, SERVER_HOST_ID
+from repro.net.wire import (
+    OpenErrPayload,
+    OpenOkPayload,
+    OpenPayload,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+from repro.protocol.actions import SendPacket
+from repro.protocol.receiver import ReceiverCore
+
+
+class FetchError(RuntimeError):
+    """A fetch could not be completed (refused, timed out, or undecodable)."""
+
+
+class _FetchProtocol(asyncio.DatagramProtocol):
+    """Client-side socket glue: frames in, driver events out."""
+
+    def __init__(self, loss_rate: float, loss_seed: int) -> None:
+        self._loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.driver: Optional[NetReceiverDriver] = None
+        self.grant: Optional[asyncio.Future] = None
+        self.frames_dropped = 0
+        self.malformed_frames = 0
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        self.grant = asyncio.get_event_loop().create_future()
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
+        # e.g. ICMP port-unreachable while the server is still starting;
+        # the OPEN retry loop absorbs it.
+        pass
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            frame = decode_frame(data)
+        except WireError:
+            self.malformed_frames += 1
+            return
+        payload = frame.payload
+        if isinstance(payload, SymbolPayload):
+            if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+                self.frames_dropped += 1
+                return
+            if (
+                self.driver is not None
+                and payload.session_id == self.driver.core.session_id
+            ):
+                self.driver.on_symbol(payload, sent_at=frame.sent_at)
+        elif isinstance(payload, DoneAckPayload):
+            if (
+                self.driver is not None
+                and payload.session_id == self.driver.core.session_id
+            ):
+                self.driver.on_done_ack(payload)
+        elif isinstance(payload, (OpenOkPayload, OpenErrPayload)):
+            if self.grant is not None and not self.grant.done():
+                self.grant.set_result(payload)
+        else:
+            # Server-bound frame looped back at us; ignore.
+            self.malformed_frames += 1
+
+    def send_raw(self, datagram: bytes) -> None:
+        if self.transport is not None:
+            self.transport.sendto(datagram)
+
+    def transmit(self, action: SendPacket) -> None:
+        self.send_raw(encode_frame(action.payload))
+
+
+def _done_fully_acked(core: ReceiverCore) -> bool:
+    senders = core._known_senders | set(core.expected_senders)
+    return not (senders - core._done_acked)
+
+
+async def fetch_object_async(
+    name: str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    config: Optional[PolyraptorConfig] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 1,
+    max_rate_bps: float = DEFAULT_WIRE_RATE_BPS,
+    open_timeout_s: float = 0.5,
+    open_retries: int = 5,
+    transfer_timeout_s: float = 30.0,
+    linger_s: float = 0.25,
+) -> bytes:
+    """Fetch one named object from a ``repro serve`` endpoint.
+
+    Returns the decoded object bytes; raises :class:`FetchError` on refusal
+    or timeout.
+    """
+    config = config if config is not None else wire_config()
+    if not config.carry_payload:
+        raise FetchError("fetching real bytes requires a carry_payload config")
+    loop = asyncio.get_event_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        lambda: _FetchProtocol(loss_rate, loss_seed),
+        remote_addr=(host, port),
+    )
+    try:
+        grant = await _open_session(protocol, name, open_timeout_s, open_retries)
+        scheduler = AsyncioScheduler(loop)
+        completed = asyncio.Event()
+        core = ReceiverCore(
+            config=config,
+            session_id=grant.session_id,
+            object_bytes=grant.object_bytes,
+            local_host=CLIENT_HOST_ID,
+            expected_senders=[SERVER_HOST_ID],
+            now=scheduler.time(),
+        )
+        driver = NetReceiverDriver(
+            core,
+            scheduler,
+            transmit=protocol.transmit,
+            on_complete=lambda _t: completed.set(),
+            max_rate_bps=max_rate_bps,
+        )
+        protocol.driver = driver
+        driver.start_fetch()
+
+        deadline = loop.time() + transfer_timeout_s
+        while not completed.is_set():
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise FetchError(
+                    f"transfer of {name!r} timed out after {transfer_timeout_s}s "
+                    f"({core.symbols_received} symbols received)"
+                )
+            try:
+                await asyncio.wait_for(
+                    completed.wait(), min(remaining, open_timeout_s)
+                )
+            except asyncio.TimeoutError:
+                if core.symbols_received == 0 and core.trimmed_received == 0:
+                    # The REQUEST (or the whole initial window) was lost and
+                    # the server never learned of the session; REQUESTs are
+                    # idempotent, so just ask again.
+                    driver.start_fetch()
+
+        data = core.received_data
+        if data is None:
+            raise FetchError(f"transfer of {name!r} completed without a decoded payload")
+
+        # Let DONE retransmissions land their acks so the server retires the
+        # session; bounded, and cut short as soon as every ack is in.
+        linger_deadline = loop.time() + linger_s
+        while loop.time() < linger_deadline and not _done_fully_acked(core):
+            await asyncio.sleep(0.01)
+        return data
+    finally:
+        transport.close()
+
+
+async def _open_session(
+    protocol: _FetchProtocol,
+    name: str,
+    open_timeout_s: float,
+    open_retries: int,
+) -> OpenOkPayload:
+    open_frame = encode_frame(OpenPayload(object_name=name))
+    for _ in range(max(1, open_retries)):
+        protocol.send_raw(open_frame)
+        try:
+            reply = await asyncio.wait_for(
+                asyncio.shield(protocol.grant), open_timeout_s
+            )
+        except asyncio.TimeoutError:
+            continue
+        if isinstance(reply, OpenErrPayload):
+            raise FetchError(f"server refused {name!r}: {reply.reason}")
+        return reply
+    raise FetchError(
+        f"no reply to OPEN({name!r}) after {max(1, open_retries)} attempts"
+    )
+
+
+def fetch_object(name: str, **kwargs) -> bytes:
+    """Synchronous wrapper around :func:`fetch_object_async` (runs its own loop)."""
+    return asyncio.run(fetch_object_async(name, **kwargs))

@@ -1,0 +1,275 @@
+"""The ``repro serve`` endpoint: Polyraptor object transfers over real UDP.
+
+The server holds a name-keyed :class:`ObjectStore` and answers three kinds
+of traffic on one socket:
+
+* ``OPEN`` handshakes, mapping an object name to a freshly granted session
+  id (idempotently -- a retransmitted OPEN gets the same grant back, so a
+  lost ``OPEN_OK`` costs one round trip, never a duplicate session);
+* ``REQUEST`` frames, spinning up one
+  :class:`~repro.protocol.sender.SenderCore` per session exactly like the
+  simulator's agent does on a fetch request (duplicates are ignored);
+* ``PULL`` / ``DONE`` frames for the live sessions.
+
+Junk datagrams are counted and dropped -- :mod:`repro.net.wire` decoding is
+total -- so the server survives port scans and version-skewed peers.  An
+optional seeded receive-loss rate drops arriving frames to exercise the
+protocol's recovery paths in integration tests without real congestion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DonePayload, PullPayload, RequestPayload
+from repro.net.driver import (
+    DEFAULT_WIRE_RATE_BPS,
+    NetSenderDriver,
+    wire_config,
+)
+from repro.net.scheduler import AsyncioScheduler
+from repro.net.wire import (
+    OpenErrPayload,
+    OpenOkPayload,
+    OpenPayload,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+from repro.protocol.actions import KIND_DATA, SendPacket
+from repro.protocol.sender import SenderCore
+
+#: Default UDP port of ``repro serve``.
+DEFAULT_PORT = 9109
+
+#: Host ids stamped into protocol payloads on the wire.  The real network
+#: addresses peers by (ip, port); the protocol-level ids only distinguish
+#: the two ends of a session, so fixed values suffice.
+SERVER_HOST_ID = 0
+CLIENT_HOST_ID = 1
+
+Address = Tuple[str, int]
+
+
+def deterministic_object(size: int, seed: str = "repro") -> bytes:
+    """``size`` bytes derived from ``seed`` by a SHA-256 counter stream.
+
+    The same (size, seed) always yields the same bytes, so a CI server and
+    its checking script can agree on the expected hash without shipping a
+    fixture file.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    chunks = []
+    produced = 0
+    counter = 0
+    while produced < size:
+        block = hashlib.sha256(f"{seed}:{counter}".encode("utf-8")).digest()
+        chunks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(chunks)[:size]
+
+
+class ObjectStore:
+    """Named objects available for serving."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, bytes] = {}
+
+    def put(self, name: str, data: bytes) -> None:
+        """Add (or replace) one named object."""
+        self._objects[name] = data
+
+    def get(self, name: str) -> Optional[bytes]:
+        """The object's bytes, or None if the name is unknown."""
+        return self._objects.get(name)
+
+    def names(self) -> list[str]:
+        """All stored object names, sorted."""
+        return sorted(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class PolyraptorServerProtocol(asyncio.DatagramProtocol):
+    """One UDP socket serving any number of concurrent fetch sessions."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: Optional[PolyraptorConfig] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        max_sessions: Optional[int] = None,
+        max_rate_bps: float = DEFAULT_WIRE_RATE_BPS,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else wire_config()
+        self.max_rate_bps = max_rate_bps
+        self._loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self._max_sessions = max_sessions
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.scheduler: Optional[AsyncioScheduler] = None
+        #: OPEN idempotency: (addr, name) -> granted session id
+        self._grants: Dict[Tuple[Address, str], int] = {}
+        self._grant_names: Dict[int, str] = {}
+        self._next_session_id = 1
+        #: live sender drivers, keyed by (addr, session id)
+        self._sessions: Dict[Tuple[Address, int], NetSenderDriver] = {}
+        self.sessions_completed = 0
+        self.frames_dropped = 0
+        self.malformed_frames = 0
+        #: set once ``max_sessions`` sessions have completed
+        self.finished = asyncio.Event()
+
+    # asyncio plumbing ---------------------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport  # type: ignore[assignment]
+        self.scheduler = AsyncioScheduler(asyncio.get_event_loop())
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+            self.frames_dropped += 1
+            return
+        try:
+            frame = decode_frame(data)
+        except WireError:
+            self.malformed_frames += 1
+            return
+        payload = frame.payload
+        if isinstance(payload, OpenPayload):
+            self._on_open(payload, addr)
+        elif isinstance(payload, RequestPayload):
+            self._on_request(payload, addr)
+        elif isinstance(payload, PullPayload):
+            driver = self._sessions.get((addr, payload.session_id))
+            if driver is not None:
+                driver.on_pull(payload)
+        elif isinstance(payload, DonePayload):
+            driver = self._sessions.get((addr, payload.session_id))
+            if driver is not None:
+                driver.on_done(payload)
+        else:
+            # A client-bound frame echoed back at us; ignore.
+            self.malformed_frames += 1
+
+    # Handshake ---------------------------------------------------------------
+
+    def _on_open(self, open_req: OpenPayload, addr: Address) -> None:
+        data = self.store.get(open_req.object_name)
+        if data is None:
+            self._sendto(
+                encode_frame(OpenErrPayload(reason=f"unknown object {open_req.object_name!r}")),
+                addr,
+            )
+            return
+        key = (addr, open_req.object_name)
+        session_id = self._grants.get(key)
+        if session_id is None:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            self._grants[key] = session_id
+            self._grant_names[session_id] = open_req.object_name
+        self._sendto(
+            encode_frame(OpenOkPayload(session_id=session_id, object_bytes=len(data))),
+            addr,
+        )
+
+    # Session lifecycle -------------------------------------------------------
+
+    def _on_request(self, request: RequestPayload, addr: Address) -> None:
+        key = (addr, request.session_id)
+        if key in self._sessions:
+            # Duplicate REQUEST (client retransmit); the live session stands.
+            return
+        name = self._grant_names.get(request.session_id)
+        object_data = self.store.get(name) if name is not None else None
+        if object_data is None or len(object_data) != request.object_bytes:
+            # Unknown session id or stale size: nothing to serve.
+            return
+        core = SenderCore(
+            config=self.config,
+            session_id=request.session_id,
+            object_bytes=request.object_bytes,
+            receiver_host_ids=[request.receiver_host],
+            local_host=SERVER_HOST_ID,
+            link_rate_bps=self.max_rate_bps,
+            sender_index=request.sender_index,
+            num_senders=request.num_senders,
+            object_data=object_data if self.config.carry_payload else None,
+        )
+        driver = NetSenderDriver(
+            core,
+            self.scheduler,
+            transmit=lambda action, _addr=addr: self._transmit(action, _addr),
+            on_complete=lambda _t, _key=key: self._session_done(_key),
+        )
+        self._sessions[key] = driver
+        driver.start()
+
+    def _session_done(self, key: Tuple[Address, int]) -> None:
+        if self._sessions.pop(key, None) is None:
+            return
+        self.sessions_completed += 1
+        if self._max_sessions is not None and self.sessions_completed >= self._max_sessions:
+            self.finished.set()
+
+    # Output ------------------------------------------------------------------
+
+    def _transmit(self, action: SendPacket, addr: Address) -> None:
+        sent_at = self.scheduler.time() if action.kind == KIND_DATA else 0.0
+        self._sendto(encode_frame(action.payload, sent_at=sent_at), addr)
+
+    def _sendto(self, datagram: bytes, addr: Address) -> None:
+        if self.transport is not None:
+            self.transport.sendto(datagram, addr)
+
+
+async def run_server(
+    store: ObjectStore,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    config: Optional[PolyraptorConfig] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    max_sessions: Optional[int] = None,
+    max_rate_bps: float = DEFAULT_WIRE_RATE_BPS,
+    ready: Optional[asyncio.Event] = None,
+) -> PolyraptorServerProtocol:
+    """Serve the store on (host, port) until ``max_sessions`` complete.
+
+    With ``max_sessions=None`` the coroutine serves forever (cancel it to
+    stop).  ``ready`` is set once the socket is bound, for tests that must
+    not race the bind.  Returns the protocol instance (its counters are the
+    run's statistics).
+    """
+    loop = asyncio.get_event_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        lambda: PolyraptorServerProtocol(
+            store,
+            config=config,
+            loss_rate=loss_rate,
+            loss_seed=loss_seed,
+            max_sessions=max_sessions,
+            max_rate_bps=max_rate_bps,
+        ),
+        local_addr=(host, port),
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await protocol.finished.wait()
+    finally:
+        transport.close()
+    return protocol

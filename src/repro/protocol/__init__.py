@@ -1,0 +1,43 @@
+"""Transport-agnostic Polyraptor protocol core.
+
+The session state machines in this package are *pure*: events go in
+(symbols, pulls, DONEs, timer expiries -- each stamped with the caller's
+clock), and typed :mod:`~repro.protocol.actions` come out (packets to send,
+timers to arm, pulls to enqueue).  Nothing in here imports the simulator or
+any real transport, which is what lets the exact same decision logic run
+
+* inside the discrete-event simulator (:mod:`repro.core` wraps each core in
+  a thin sim-clock driver), and
+* on a real wire (:mod:`repro.net` drives the cores from asyncio UDP
+  endpoints).
+
+The conformance suite under ``tests/protocol/`` replays identical scripted
+event traces through both drivers and asserts the cores emitted identical
+decision sequences.
+"""
+
+from repro.protocol.actions import (
+    CancelPulls,
+    EnqueuePull,
+    SendPacket,
+    SessionCompleted,
+    SetTimer,
+    StopTimer,
+    TransportFeedback,
+)
+from repro.protocol.pacer import PacedPullQueue
+from repro.protocol.receiver import ReceiverCore
+from repro.protocol.sender import SenderCore
+
+__all__ = [
+    "CancelPulls",
+    "EnqueuePull",
+    "PacedPullQueue",
+    "ReceiverCore",
+    "SendPacket",
+    "SenderCore",
+    "SessionCompleted",
+    "SetTimer",
+    "StopTimer",
+    "TransportFeedback",
+]

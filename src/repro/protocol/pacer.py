@@ -1,0 +1,134 @@
+"""The paced, session-fair pull queue (transport-agnostic half).
+
+The paper, section 2: *"The data transport layer at each receiver has only
+one pull queue shared by all sessions.  A pull request is added to this queue
+upon receiving a full or trimmed symbol.  The receiver then paces pull
+packets across all sessions, so that the aggregate data rate matches the
+receiver's link capacity."*
+
+The queue therefore:
+
+* keeps one FIFO of pending pulls **per session** and serves sessions in
+  round-robin order (so a single large session cannot starve others);
+* emits at most one pull per *data-packet serialisation time* of the
+  receiver's link, because each pull elicits one symbol-sized packet in
+  return -- pacing pulls at that interval caps the aggregate arrival rate at
+  the link capacity;
+* sends the first pull of an idle period immediately (no pacing delay when
+  the link has been idle).
+
+This class is clock- and transport-agnostic: the owner injects ``schedule``
+(arrange a callback ``delay`` seconds from now -- a sim event heap or an
+asyncio loop) and ``send`` (actually transmit a built pull).  The sim wraps
+it as :class:`repro.core.pull_queue.PullPacer`; the wire driver in
+:mod:`repro.net` runs the identical code over ``loop.call_later``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.transport.tfrc import TfrcController
+
+#: A deferred pull: a callable that builds the pull at send time (so the
+#: block hint reflects the receiver's latest state); ``None`` means the
+#: session completed meanwhile and the slot is discarded.
+PullBuilder = Callable[[], Optional[Any]]
+
+
+class PacedPullQueue:
+    """One pull queue per receiving endpoint, shared by all of its sessions.
+
+    With a :class:`~repro.transport.tfrc.TfrcController` attached
+    (``self.tfrc``) the inter-pull gap stretches to the controller's allowed
+    rate.  Since each pull elicits one symbol, pacing pulls *is* pacing the
+    sender.  With no congestion signals the allowed rate is the line rate
+    and the cadence is the base one-serialization-time.
+    """
+
+    def __init__(
+        self,
+        base_interval_s: float,
+        schedule: Callable[[float, Callable[[], None]], Any],
+        send: Callable[[Any], Any],
+        tfrc: Optional[TfrcController] = None,
+    ) -> None:
+        self.pull_interval_s = base_interval_s
+        self.tfrc = tfrc
+        self._schedule = schedule
+        self._send = send
+        self._queues: dict[int, deque[PullBuilder]] = {}
+        self._round_robin: deque[int] = deque()
+        self._pacing = False
+        self.pulls_sent = 0
+        self.pulls_discarded = 0
+
+    @property
+    def pending_pulls(self) -> int:
+        """Number of pulls waiting to be sent across all sessions."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pending_for_session(self, session_id: int) -> int:
+        """Number of pulls waiting for one session."""
+        queue = self._queues.get(session_id)
+        return len(queue) if queue else 0
+
+    def enqueue(self, session_id: int, builder: PullBuilder) -> None:
+        """Add one pull for a session; starts the pacer if it was idle."""
+        queue = self._queues.get(session_id)
+        if queue is None:
+            queue = deque()
+            self._queues[session_id] = queue
+        if not queue and session_id not in self._round_robin:
+            self._round_robin.append(session_id)
+        elif not queue:
+            # Session already in the round-robin ring with an empty queue
+            # (possible when pulls were cancelled); nothing to do.
+            pass
+        queue.append(builder)
+        if not self._pacing:
+            self._pacing = True
+            self._send_next()
+
+    def cancel_session(self, session_id: int) -> None:
+        """Discard every pending pull of a session (used when it completes)."""
+        queue = self._queues.pop(session_id, None)
+        if queue:
+            self.pulls_discarded += len(queue)
+        try:
+            self._round_robin.remove(session_id)
+        except ValueError:
+            pass
+
+    def _next_session(self) -> Optional[int]:
+        for _ in range(len(self._round_robin)):
+            session_id = self._round_robin[0]
+            self._round_robin.rotate(-1)
+            queue = self._queues.get(session_id)
+            if queue:
+                return session_id
+        return None
+
+    def _send_next(self) -> None:
+        session_id = self._next_session()
+        if session_id is None:
+            self._pacing = False
+            return
+        builder = self._queues[session_id].popleft()
+        pull = builder()
+        if pull is not None:
+            self._send(pull)
+            self.pulls_sent += 1
+        else:
+            self.pulls_discarded += 1
+        # Pace the next pull one data-packet time later (stretched to the
+        # TFRC-allowed rate when rate control is on), even if the builder
+        # declined to send (its slot is spent either way).
+        self._schedule(self.current_interval_s(), self._send_next)
+
+    def current_interval_s(self) -> float:
+        """The inter-pull gap in force right now."""
+        if self.tfrc is None:
+            return self.pull_interval_s
+        return max(self.pull_interval_s, self.tfrc.send_interval_s())

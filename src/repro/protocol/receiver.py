@@ -1,0 +1,408 @@
+"""The transport-agnostic Polyraptor receiver state machine.
+
+A receiver session:
+
+* tracks, per source block, which encoding symbols have arrived (or actually
+  feeds them to a RaptorQ decoder in payload mode);
+* requests one pull for every **full or trimmed** symbol that arrives while
+  the session is incomplete -- a trimmed header still tells the receiver
+  that a symbol was sent (and lost), so the pull keeps the self-clocking
+  loop running without ever re-requesting the specific lost symbol;
+* declares a block complete once it holds all K source symbols, or any
+  K + overhead distinct symbols otherwise;
+* when every block is complete, sends DONE to every sender, cancels pending
+  pulls, and reports completion.
+
+For many-to-one (multi-source) sessions the receiver is the initiator: it
+sends a REQUEST to each replica holder, then pulls from whichever sender's
+symbols arrive -- a fast sender's symbols arrive more often, so it receives
+more pulls, which is the paper's "natural load balancing" mechanism.
+
+This core is pure: inputs arrive through :meth:`ReceiverCore.on_symbol`,
+:meth:`ReceiverCore.on_done_ack` and :meth:`ReceiverCore.on_timer`, and all
+side effects leave as :mod:`~repro.protocol.actions`.  Pulls are *deferred*:
+the core emits :class:`~repro.protocol.actions.EnqueuePull` and the driver's
+pacer calls :meth:`ReceiverCore.build_pull` back at send time, so the block
+hint and congestion echo always reflect the latest state.  Two named timers
+exist: ``"stall"`` (re-issue pulls when nothing arrives) and ``"done"``
+(retransmit unacknowledged DONEs with exponential backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import (
+    DoneAckPayload,
+    DonePayload,
+    PullPayload,
+    RequestPayload,
+    SymbolPayload,
+)
+from repro.core.straggler import PathLossEstimator
+from repro.protocol.actions import (
+    KIND_CONTROL,
+    ActionEmitter,
+    CancelPulls,
+    EnqueuePull,
+    SendPacket,
+    SessionCompleted,
+    SetTimer,
+    StopTimer,
+    TransportFeedback,
+)
+from repro.rq.block import EncodedSymbol, ObjectDecoder, partition_object
+from repro.rq.decoder import DecodeFailure
+
+
+class ReceiverCore(ActionEmitter):
+    """Receiver-side protocol state for one Polyraptor session."""
+
+    #: re-issues pulls when nothing has arrived for a stall timeout
+    TIMER_STALL = "stall"
+    #: retransmits unacknowledged DONEs with exponential backoff
+    TIMER_DONE = "done"
+
+    def __init__(
+        self,
+        config: PolyraptorConfig,
+        session_id: int,
+        object_bytes: int,
+        local_host: int,
+        expected_senders: Optional[list[int]] = None,
+        codec=None,
+        now: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.session_id = session_id
+        self.local_host = local_host
+        self.object_bytes = object_bytes
+        self.expected_senders = list(expected_senders) if expected_senders else []
+
+        self.oti = partition_object(
+            object_bytes, self.config.symbol_size_bytes, self.config.max_symbols_per_block
+        )
+        self._received: list[set[int]] = [set() for _ in range(self.oti.num_source_blocks)]
+        self._complete_blocks: set[int] = set()
+        self._known_senders: set[int] = set(self.expected_senders)
+        self._stall_sender_cursor = 0
+        self._pull_sequence = 0
+
+        self._decoder: Optional[ObjectDecoder] = None
+        if self.config.carry_payload:
+            self._decoder = ObjectDecoder(self.oti, context=codec)
+        self.received_data: Optional[bytes] = None
+
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.start_time = now
+        self.symbols_received = 0
+        self.trimmed_received = 0
+        self.duplicate_symbols = 0
+        self.stall_events = 0
+        self.done_retries = 0
+        self.ce_received = 0
+        self._done_acked: set[int] = set()
+
+        #: per-path loss state, keyed by (sender, stream) where stream is
+        #: ``None`` for the sender's multicast emission stream and this
+        #: host's id for symbols the sender unicast to us -- the two streams
+        #: carry independent sequence counters.  The estimate echoed back on
+        #: pulls is the one of the stream that delivered most recently.
+        self._loss_estimators: dict[tuple[int, Optional[int]], PathLossEstimator] = {}
+        self._last_stream: dict[int, Optional[int]] = {}
+        #: congestion signals (CE marks + trims) seen per sender since the
+        #: last pull we built toward that sender.
+        self._congestion_since_pull: dict[int, int] = {}
+
+        self._emit(SetTimer(self.TIMER_STALL, self.config.stall_timeout_s))
+
+    # Session initiation -----------------------------------------------------------
+
+    def start_fetch(self) -> None:
+        """Initiate a many-to-one fetch: send a REQUEST to every replica holder."""
+        if not self.expected_senders:
+            raise ValueError("a fetch session needs at least one sender")
+        num_senders = len(self.expected_senders)
+        for index, sender in enumerate(self.expected_senders):
+            request = RequestPayload(
+                session_id=self.session_id,
+                receiver_host=self.local_host,
+                object_bytes=self.object_bytes,
+                sender_index=index,
+                num_senders=num_senders,
+            )
+            self._emit(
+                SendPacket(
+                    payload=request,
+                    kind=KIND_CONTROL,
+                    size_bytes=self.config.control_bytes,
+                    dest=sender,
+                )
+            )
+
+    # Symbol handling ----------------------------------------------------------------
+
+    def on_symbol(
+        self,
+        payload: SymbolPayload,
+        trimmed: bool,
+        ce: bool = False,
+        multicast: bool = False,
+        sent_at: float = 0.0,
+        now: float = 0.0,
+    ) -> None:
+        """Process one arriving symbol packet (full or trimmed).
+
+        ``ce`` is the packet's CE mark, ``multicast`` whether it travelled
+        the sender's multicast stream (its sequence counter is separate from
+        the unicast one), ``sent_at`` the sender-side emission time (0.0
+        when unknown) used for RTT samples.
+        """
+        if self.completed:
+            return
+        self._known_senders.add(payload.sender_host)
+        self._emit(SetTimer(self.TIMER_STALL, self.config.stall_timeout_s))
+        missing = self._account_path(payload, trimmed=trimmed, ce=ce,
+                                     multicast=multicast, sent_at=sent_at, now=now)
+
+        if trimmed:
+            # The payload was cut by a switch; the header alone still triggers
+            # a pull -- the lost symbol itself is never re-requested.
+            self.trimmed_received += 1
+        else:
+            self._record_symbol(payload)
+            if self._session_complete():
+                self._finish(now)
+                return
+        self._request_more(payload.sender_host)
+        if self.config.pull_on_gap and missing > 0:
+            # Real-network mode: a sequence gap means symbols vanished with
+            # no trimmed header to keep the pull clock running, so replace
+            # the lost arrivals' pulls directly (the sim's trimming fabric
+            # never needs this; it is off by default there).
+            for _ in range(min(missing, self.config.initial_window_symbols)):
+                self._request_more(payload.sender_host)
+
+    def _account_path(
+        self,
+        payload: SymbolPayload,
+        trimmed: bool,
+        ce: bool,
+        multicast: bool,
+        sent_at: float,
+        now: float,
+    ) -> int:
+        """Fold one arrival into loss estimation, ECN echo state and TFRC.
+
+        Pure bookkeeping plus one :class:`TransportFeedback` action for the
+        driver's rate controller; returns the number of symbols this arrival
+        newly exposed as missing (its sequence gap).
+        """
+        sender = payload.sender_host
+        stream: Optional[int] = None if multicast else self.local_host
+        estimator = self._loss_estimators.get((sender, stream))
+        if estimator is None:
+            estimator = PathLossEstimator(
+                window_symbols=self.config.gray_window_symbols,
+                ewma_weight=self.config.gray_ewma_weight,
+            )
+            self._loss_estimators[(sender, stream)] = estimator
+        missing = estimator.on_symbol(payload.sequence)
+        self._last_stream[sender] = stream
+        if ce:
+            self.ce_received += 1
+        if ce or trimmed:
+            self._congestion_since_pull[sender] = (
+                self._congestion_since_pull.get(sender, 0) + 1
+            )
+        # Congestion signals only: a sequence gap under packet spray is
+        # usually reordering, and non-congestive path loss is the
+        # gray-detection side's job, not the rate controller's.
+        self._emit(
+            TransportFeedback(
+                packets=1,
+                rtt_sample_s=2.0 * (now - sent_at) if sent_at > 0.0 else None,
+                congestion=ce or trimmed,
+                now_s=now,
+            )
+        )
+        return missing
+
+    def path_loss_estimate(self, sender: int) -> float:
+        """The EWMA loss estimate for the most recently used stream of a sender."""
+        stream = self._last_stream.get(sender)
+        if sender not in self._last_stream:
+            return 0.0
+        estimator = self._loss_estimators.get((sender, stream))
+        return estimator.loss_estimate if estimator is not None else 0.0
+
+    def path_loss_estimates(self) -> dict[int, float]:
+        """Current per-sender loss estimates, in sorted sender order.
+
+        One entry per sender that has delivered at least one symbol; the
+        value is :meth:`path_loss_estimate` for that sender's most recent
+        stream.  Used by telemetry and reporting.
+        """
+        return {
+            sender: self.path_loss_estimate(sender)
+            for sender in sorted(self._last_stream)
+        }
+
+    def _record_symbol(self, payload: SymbolPayload) -> None:
+        block = payload.block_number
+        if block in self._complete_blocks:
+            self.duplicate_symbols += 1
+            return
+        received = self._received[block]
+        if payload.esi in received:
+            self.duplicate_symbols += 1
+            return
+        received.add(payload.esi)
+        self.symbols_received += 1
+        if self._decoder is not None and payload.data is not None:
+            self._decoder.add_symbol(
+                EncodedSymbol(block_number=block, esi=payload.esi, data=payload.data)
+            )
+        if self._block_complete(block):
+            self._complete_blocks.add(block)
+
+    def _block_complete(self, block: int) -> bool:
+        k = self.oti.block_symbol_count(block)
+        received = self._received[block]
+        source_count = sum(1 for esi in received if esi < k)
+        if source_count == k:
+            return True
+        return len(received) >= k + self.config.decode_overhead_symbols
+
+    def _session_complete(self) -> bool:
+        return len(self._complete_blocks) == self.oti.num_source_blocks
+
+    # Pull generation -------------------------------------------------------------------
+
+    def lowest_incomplete_block(self) -> Optional[int]:
+        """The first block that still needs symbols (None when all complete)."""
+        for block in range(self.oti.num_source_blocks):
+            if block not in self._complete_blocks:
+                return block
+        return None
+
+    def _request_more(self, target_sender: int) -> None:
+        self._emit(EnqueuePull(self.session_id, target_sender))
+
+    def build_pull(self, target_sender: int) -> Optional[PullPayload]:
+        """Build one pull toward a sender, reflecting the state *right now*.
+
+        Called back by the driver's pacer at send time (pulls are enqueued
+        as deferred :class:`EnqueuePull` actions); returns ``None`` when the
+        session completed in the meantime, in which case the pacer discards
+        the slot.
+        """
+        if self.completed:
+            return None
+        self._pull_sequence += 1
+        return PullPayload(
+            session_id=self.session_id,
+            receiver_host=self.local_host,
+            pull_sequence=self._pull_sequence,
+            block_hint=self.lowest_incomplete_block(),
+            congestion_echo=self._congestion_since_pull.pop(target_sender, 0),
+            loss_estimate=self.path_loss_estimate(target_sender),
+        )
+
+    # Stall recovery ---------------------------------------------------------------------
+
+    def on_timer(self, name: str, now: float) -> None:
+        """Handle the expiry of one of this session's named timers."""
+        if name == self.TIMER_STALL:
+            self._on_stall(now)
+        elif name == self.TIMER_DONE:
+            self._retry_done(now)
+        else:  # pragma: no cover - drivers only route the two known names
+            raise ValueError(f"unknown receiver timer {name!r}")
+
+    def _on_stall(self, now: float) -> None:
+        """Nothing arrived for a while: re-issue pulls so the session cannot deadlock."""
+        if self.completed:
+            return
+        self.stall_events += 1
+        senders = sorted(self._known_senders) or sorted(self.expected_senders)
+        if senders:
+            incomplete_blocks = [
+                block
+                for block in range(self.oti.num_source_blocks)
+                if block not in self._complete_blocks
+            ]
+            pulls_to_issue = max(1, min(len(incomplete_blocks), 4))
+            for _ in range(pulls_to_issue):
+                target = senders[self._stall_sender_cursor % len(senders)]
+                self._stall_sender_cursor += 1
+                self._request_more(target)
+        self._emit(SetTimer(self.TIMER_STALL, self.config.stall_timeout_s))
+
+    # Completion --------------------------------------------------------------------------
+
+    def _finish(self, now: float) -> None:
+        if self.completed:
+            return
+        if self._decoder is not None:
+            try:
+                self.received_data = self._decoder.decode()
+            except DecodeFailure:
+                # Extremely rare: the collected overhead was not sufficient.
+                # Keep the session open and pull a few more symbols.
+                for block in list(self._complete_blocks):
+                    if not self._decoder.block_decoder(block).is_decoded:
+                        self._complete_blocks.discard(block)
+                for sender in sorted(self._known_senders) or [0]:
+                    self._request_more(sender)
+                return
+        self.completed = True
+        self.completion_time = now
+        self._emit(StopTimer(self.TIMER_STALL))
+        self._emit(CancelPulls(self.session_id))
+        self._broadcast_done()
+        if self.config.done_retry_limit > 0:
+            self._emit(SetTimer(self.TIMER_DONE, self.config.stall_timeout_s))
+        self._emit(SessionCompleted(self.session_id, now))
+
+    def _broadcast_done(self) -> None:
+        """Send DONE to every sender that has not acknowledged one yet."""
+        unacked = (self._known_senders | set(self.expected_senders)) - self._done_acked
+        for sender in sorted(unacked):
+            done = DonePayload(session_id=self.session_id, receiver_host=self.local_host)
+            self._emit(
+                SendPacket(
+                    payload=done,
+                    kind=KIND_CONTROL,
+                    size_bytes=self.config.control_bytes,
+                    dest=sender,
+                )
+            )
+
+    def on_done_ack(self, ack: DoneAckPayload) -> None:
+        """A sender confirmed our DONE; stop retrying once every sender has."""
+        self._done_acked.add(ack.sender_host)
+        if not (self._known_senders | set(self.expected_senders)) - self._done_acked:
+            self._emit(StopTimer(self.TIMER_DONE))
+
+    def _retry_done(self, now: float) -> None:
+        """Re-send the unacknowledged DONE with exponential backoff.
+
+        A DONE lost to the fabric (a fault-downed link, a trimming overflow)
+        would leave the sender pull-clocked on a receiver that will never
+        pull again.  Acks cancel the retries in the healthy case; the
+        ``done_retry_limit`` cap keeps the event heap finite when a sender
+        stays unreachable to the end of the run.
+        """
+        self.done_retries += 1
+        self._broadcast_done()
+        if self.done_retries < self.config.done_retry_limit:
+            self._emit(
+                SetTimer(
+                    self.TIMER_DONE,
+                    self.config.stall_timeout_s * (2 ** self.done_retries),
+                )
+            )

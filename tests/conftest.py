@@ -4,6 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+try:  # hypothesis is an optional test dependency (the rq property tests skip
+    # without it); when present, keep its on-disk state (example database,
+    # constants cache) out of the repo: no stray ``.hypothesis/`` after a run.
+    import tempfile
+
+    from hypothesis import configuration as _hypothesis_configuration
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_configuration.set_hypothesis_home_dir(
+        tempfile.mkdtemp(prefix="hypothesis-home-")
+    )
+    _hypothesis_settings.register_profile("repro", database=None)
+    _hypothesis_settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
 from repro.core.agent import PolyraptorAgent
 from repro.core.config import PolyraptorConfig
 from repro.network.network import Network, NetworkConfig
@@ -70,6 +86,21 @@ class TcpTestbed:
 
     def run(self, until: float = 5.0) -> None:
         self.sim.run(until=until)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_home(tmp_path_factory, monkeypatch):
+    """Point ``Path.home()`` at a per-session temp dir.
+
+    Anything that resolves ``~/.cache/repro`` (the persistent plan cache,
+    via :func:`repro.experiments.parallel.default_plan_cache_path`) then
+    reads and writes inside pytest's temp tree instead of the real home
+    directory, so test runs leave no stray state behind.
+    """
+    home = tmp_path_factory.getbasetemp() / "home"
+    home.mkdir(exist_ok=True)
+    monkeypatch.setenv("HOME", str(home))
+    monkeypatch.setenv("USERPROFILE", str(home))  # Path.home() on Windows
 
 
 @pytest.fixture

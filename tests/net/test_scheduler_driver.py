@@ -1,0 +1,132 @@
+"""ManualScheduler/NetTimer semantics and the net drivers' action plumbing."""
+
+import pytest
+
+from repro.net.driver import NetReceiverDriver, wire_config
+from repro.net.scheduler import ManualScheduler, NetTimer
+from repro.protocol.actions import KIND_CONTROL
+from repro.protocol.receiver import ReceiverCore
+
+
+class TestManualScheduler:
+    def test_same_instant_callbacks_run_in_scheduling_order(self):
+        scheduler = ManualScheduler()
+        order = []
+        scheduler.call_later(1.0, lambda: order.append("first"))
+        scheduler.call_later(1.0, lambda: order.append("second"))
+        scheduler.call_later(0.5, lambda: order.append("earlier"))
+        scheduler.run_until(2.0)
+        assert order == ["earlier", "first", "second"]
+
+    def test_clock_lands_exactly_on_the_target(self):
+        scheduler = ManualScheduler()
+        scheduler.call_later(0.3, lambda: None)
+        scheduler.run_until(1.0)
+        assert scheduler.time() == 1.0
+        scheduler.run_until(1.0)  # idempotent
+        assert scheduler.time() == 1.0
+
+    def test_callbacks_see_their_due_time(self):
+        scheduler = ManualScheduler()
+        seen = []
+        scheduler.call_later(0.25, lambda: seen.append(scheduler.time()))
+        scheduler.run_until(5.0)
+        assert seen == [0.25]
+
+    def test_cancelled_handles_never_fire(self):
+        scheduler = ManualScheduler()
+        fired = []
+        handle = scheduler.call_later(0.1, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run_until(1.0)
+        assert fired == []
+        assert scheduler.next_time() is None
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ManualScheduler().call_later(-0.1, lambda: None)
+
+    def test_callbacks_can_schedule_more_work(self):
+        scheduler = ManualScheduler()
+        times = []
+
+        def tick():
+            times.append(scheduler.time())
+            if len(times) < 3:
+                scheduler.call_later(0.1, tick)
+
+        scheduler.call_later(0.1, tick)
+        scheduler.run_until(1.0)
+        assert times == pytest.approx([0.1, 0.2, 0.3])
+
+
+class TestNetTimer:
+    def test_start_rearms_and_stop_disarms(self):
+        scheduler = ManualScheduler()
+        fired = []
+        timer = NetTimer(scheduler, lambda: fired.append(scheduler.time()))
+        timer.start(1.0)
+        timer.start(2.0)  # restart supersedes the first arming
+        assert timer.running
+        scheduler.run_until(3.0)
+        assert fired == [2.0]
+        assert not timer.running
+        timer.stop()  # stopping an unarmed timer is a no-op
+        timer.start(1.0)
+        timer.stop()
+        scheduler.run_until(10.0)
+        assert fired == [2.0]
+
+    def test_callback_may_rearm_itself(self):
+        scheduler = ManualScheduler()
+        fired = []
+
+        def on_fire():
+            fired.append(scheduler.time())
+            if len(fired) < 2:
+                timer.start(1.0)
+
+        timer = NetTimer(scheduler, on_fire)
+        timer.start(1.0)
+        scheduler.run_until(5.0)
+        assert fired == [1.0, 2.0]
+
+
+class TestWireConfig:
+    def test_profile_enables_the_wire_essentials(self):
+        config = wire_config()
+        assert config.carry_payload
+        assert config.pull_on_gap
+        assert config.tfrc_pacing
+        assert config.stall_timeout_s == pytest.approx(0.05)
+
+    def test_overrides_win(self):
+        config = wire_config(stall_timeout_s=0.2, tfrc_pacing=False)
+        assert config.stall_timeout_s == 0.2
+        assert not config.tfrc_pacing
+        assert config.pull_on_gap  # untouched defaults remain
+
+
+class TestNetReceiverDriver:
+    def test_unexpected_action_is_rejected(self):
+        config = wire_config(carry_payload=False)
+        scheduler = ManualScheduler()
+        core = ReceiverCore(config=config, session_id=1, object_bytes=1408,
+                            local_host=1, expected_senders=[0])
+        driver = NetReceiverDriver(core, scheduler, transmit=lambda a: None)
+        with pytest.raises(TypeError, match="unexpected protocol action"):
+            driver._apply_extra(object())
+
+    def test_stall_timer_runs_on_the_scheduler(self):
+        """The core's construction-time stall arming must land on the manual
+        heap and re-issue pulls through the pacer when it fires."""
+        config = wire_config(carry_payload=False, tfrc_pacing=False)
+        scheduler = ManualScheduler()
+        sent = []
+        core = ReceiverCore(config=config, session_id=1, object_bytes=1408,
+                            local_host=1, expected_senders=[0])
+        NetReceiverDriver(core, scheduler, transmit=sent.append)
+        assert scheduler.next_time() == pytest.approx(config.stall_timeout_s)
+        scheduler.run_until(config.stall_timeout_s * 1.5)
+        assert core.stall_events == 1
+        assert [a.kind for a in sent] == [KIND_CONTROL]  # one stall pull out

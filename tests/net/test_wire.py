@@ -1,0 +1,140 @@
+"""Wire framing: round-trips for every frame type, rejection of everything else."""
+
+import pytest
+
+from repro.core.packets import (
+    DoneAckPayload,
+    DonePayload,
+    PullPayload,
+    RequestPayload,
+    SymbolPayload,
+)
+from repro.net.wire import (
+    MAGIC,
+    WIRE_VERSION,
+    OpenErrPayload,
+    OpenOkPayload,
+    OpenPayload,
+    WireError,
+    decode_frame,
+    encode_frame,
+)
+
+ALL_PAYLOADS = [
+    SymbolPayload(
+        session_id=7, sender_host=3, block_number=1, esi=42,
+        block_symbol_count=30, num_blocks=2, object_bytes=123456,
+        data=b"\x01\x02\x03payload", sequence=9,
+    ),
+    SymbolPayload(
+        session_id=7, sender_host=3, block_number=0, esi=0,
+        block_symbol_count=1, num_blocks=1, object_bytes=1,
+        data=None, sequence=1,
+    ),
+    PullPayload(session_id=7, receiver_host=5, pull_sequence=12,
+                block_hint=3, congestion_echo=2, loss_estimate=0.125),
+    PullPayload(session_id=7, receiver_host=5, pull_sequence=1,
+                block_hint=None, congestion_echo=0, loss_estimate=0.0),
+    RequestPayload(session_id=7, receiver_host=5, object_bytes=4_000_000,
+                   sender_index=1, num_senders=3),
+    DonePayload(session_id=7, receiver_host=5),
+    DoneAckPayload(session_id=7, sender_host=3),
+    OpenPayload(object_name="objects/dataset-β.bin"),
+    OpenOkPayload(session_id=99, object_bytes=2**40),
+    OpenErrPayload(reason="unknown object 'x'"),
+]
+
+
+PAYLOAD_IDS = [f"{type(p).__name__}-{i}" for i, p in enumerate(ALL_PAYLOADS)]
+
+
+@pytest.mark.parametrize("payload", ALL_PAYLOADS, ids=PAYLOAD_IDS)
+def test_round_trip_preserves_every_field(payload):
+    frame = decode_frame(encode_frame(payload))
+    assert frame.payload == payload
+
+
+def test_symbol_sent_at_survives_the_round_trip():
+    symbol = ALL_PAYLOADS[0]
+    frame = decode_frame(encode_frame(symbol, sent_at=123.456789))
+    assert frame.sent_at == 123.456789
+    assert decode_frame(encode_frame(symbol)).sent_at == 0.0
+
+
+def test_empty_symbol_data_is_distinct_from_none():
+    symbol = SymbolPayload(
+        session_id=1, sender_host=1, block_number=0, esi=0,
+        block_symbol_count=1, num_blocks=1, object_bytes=1,
+        data=b"", sequence=1,
+    )
+    assert decode_frame(encode_frame(symbol)).payload.data == b""
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode_frame(DonePayload(session_id=1, receiver_host=2)))
+    frame[0:2] = b"XX"
+    with pytest.raises(WireError, match="magic"):
+        decode_frame(bytes(frame))
+
+
+def test_unsupported_version_rejected():
+    frame = bytearray(encode_frame(DonePayload(session_id=1, receiver_host=2)))
+    assert frame[2] == WIRE_VERSION
+    frame[2] = WIRE_VERSION + 1
+    with pytest.raises(WireError, match="version"):
+        decode_frame(bytes(frame))
+
+
+def test_unknown_frame_type_rejected():
+    frame = bytearray(encode_frame(DonePayload(session_id=1, receiver_host=2)))
+    frame[3] = 200
+    with pytest.raises(WireError, match="unknown frame type"):
+        decode_frame(bytes(frame))
+
+
+@pytest.mark.parametrize("payload", ALL_PAYLOADS, ids=PAYLOAD_IDS)
+def test_every_truncation_rejected_not_crashing(payload):
+    """Cutting a valid frame at any point must raise WireError, never leak
+    struct/index errors -- the server sits on an open port."""
+    frame = encode_frame(payload)
+    for cut in range(len(frame)):
+        with pytest.raises(WireError):
+            decode_frame(frame[:cut])
+
+
+def test_trailing_garbage_rejected():
+    done = encode_frame(DonePayload(session_id=1, receiver_host=2))
+    with pytest.raises(WireError):
+        decode_frame(done + b"\x00")
+    dataless = encode_frame(SymbolPayload(
+        session_id=1, sender_host=1, block_number=0, esi=0,
+        block_symbol_count=1, num_blocks=1, object_bytes=1,
+        data=None, sequence=1,
+    ))
+    with pytest.raises(WireError, match="trailing"):
+        decode_frame(dataless + b"junk")
+
+
+def test_open_name_length_mismatch_rejected():
+    frame = bytearray(encode_frame(OpenPayload(object_name="abc")))
+    frame[-1:] = b""  # shorten the name below the declared length
+    with pytest.raises(WireError):
+        decode_frame(bytes(frame))
+
+
+def test_junk_datagrams_rejected():
+    for junk in (b"", b"\x00", b"hello world", MAGIC, bytes(1000)):
+        with pytest.raises(WireError):
+            decode_frame(junk)
+
+
+def test_invalid_utf8_name_rejected():
+    frame = bytearray(encode_frame(OpenPayload(object_name="ab")))
+    frame[-2:] = b"\xff\xfe"
+    with pytest.raises(WireError):
+        decode_frame(bytes(frame))
+
+
+def test_unencodable_payload_rejected():
+    with pytest.raises(WireError, match="cannot encode"):
+        encode_frame(object())

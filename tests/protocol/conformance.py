@@ -1,0 +1,257 @@
+"""Sim/wire conformance harness.
+
+One scripted trace -- a timed sequence of protocol inputs for a single
+session -- is replayed twice:
+
+* through the **sim driver** (:class:`repro.core.sender.SenderSession` /
+  :class:`repro.core.receiver.ReceiverSession` on a real
+  :class:`~repro.sim.engine.Simulator` with a stub host), and
+* through the **net driver** (:class:`repro.net.driver.NetSenderDriver` /
+  :class:`repro.net.driver.NetReceiverDriver` on a
+  :class:`~repro.net.scheduler.ManualScheduler`), with every outgoing
+  payload round-tripped through the wire codec on the way out.
+
+Both replays reduce to the same normalized decision list -- ``(time, kind,
+destination, payload)`` for every transmitted packet plus a completion
+marker -- and the suite asserts the lists are **identical**.  Any drift
+between the two transports' view of the protocol (timer arithmetic, pacing
+order, pull bookkeeping, wire codec lossiness) shows up as a diff.
+
+Both sides are driven the same way: advance the clock exactly to the
+event's timestamp (``Simulator.run(until=t)`` /
+``ManualScheduler.run_until(t)`` -- both land the clock on ``t`` and break
+same-instant ties by scheduling order), then invoke the handler directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.core.agent import PolyraptorAgent
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DoneAckPayload, DonePayload, PullPayload, SymbolPayload
+from repro.core.receiver import ReceiverSession
+from repro.core.sender import SenderSession
+from repro.net.driver import NetReceiverDriver, NetSenderDriver
+from repro.net.scheduler import ManualScheduler
+from repro.net.wire import decode_frame, encode_frame
+from repro.protocol.actions import SendPacket
+from repro.protocol.receiver import ReceiverCore
+from repro.protocol.sender import SenderCore
+from repro.sim.engine import Simulator
+
+#: Directory holding the scripted trace corpus.
+TRACES_DIR = Path(__file__).parent / "traces"
+
+#: Both replays assume the same link rate, so pull-pacing intervals and
+#: TFRC ceilings match to the bit.
+LINK_RATE_BPS = 1e9
+
+#: The node id of the session's host on both transports.
+LOCAL_HOST_ID = 1
+
+Decision = tuple
+
+
+class StubHost:
+    """The minimal host surface the sim-side agent needs.
+
+    ``send`` records the packet as a normalized decision instead of
+    entering a NIC queue: conformance compares what the protocol *decided*
+    to transmit, not how a particular fabric treats it afterwards.
+    """
+
+    def __init__(self, sim: Simulator, sink: list) -> None:
+        self._sim = sim
+        self._sink = sink
+        self.node_id = LOCAL_HOST_ID
+        self.link_rate_bps = LINK_RATE_BPS
+        self.name = "conformance-host"
+
+    def register_protocol(self, protocol: str, agent: Any) -> None:
+        pass
+
+    def send(self, packet: Any) -> bool:
+        dest: Any = packet.dst
+        if packet.multicast_group is not None:
+            dest = ("group", packet.multicast_group)
+        self._sink.append(
+            ("packet", repr(self._sim.now), packet.kind.value, dest, repr(packet.payload))
+        )
+        return True
+
+
+def load_trace(path: Path) -> dict:
+    """Load one trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def trace_paths() -> list[Path]:
+    """All trace files in the corpus, sorted by name."""
+    return sorted(TRACES_DIR.glob("*.json"))
+
+
+def _config(trace: dict) -> PolyraptorConfig:
+    return PolyraptorConfig(**trace.get("config", {}))
+
+
+def _event_payload(trace: dict, event: dict):
+    """Build the protocol payload a trace event injects."""
+    session_id = trace["session"]["session_id"]
+    kind = event["type"]
+    if kind == "symbol":
+        return SymbolPayload(
+            session_id=session_id,
+            sender_host=event["sender_host"],
+            block_number=event["block_number"],
+            esi=event["esi"],
+            block_symbol_count=event["block_symbol_count"],
+            num_blocks=event["num_blocks"],
+            object_bytes=trace["session"]["object_bytes"],
+            data=None,
+            sequence=event["sequence"],
+        )
+    if kind == "pull":
+        return PullPayload(
+            session_id=session_id,
+            receiver_host=event["receiver_host"],
+            pull_sequence=event["pull_sequence"],
+            block_hint=event.get("block_hint"),
+            congestion_echo=event.get("congestion_echo", 0),
+            loss_estimate=event.get("loss_estimate", 0.0),
+        )
+    if kind == "done":
+        return DonePayload(session_id=session_id, receiver_host=event["receiver_host"])
+    if kind == "done_ack":
+        return DoneAckPayload(session_id=session_id, sender_host=event["sender_host"])
+    return None
+
+
+def _inject(trace: dict, event: dict, session: Any) -> None:
+    """Apply one trace event to a driver (sim or net -- same surface)."""
+    kind = event["type"]
+    payload = _event_payload(trace, event)
+    if kind == "start":
+        session.start()
+    elif kind == "start_fetch":
+        session.start_fetch()
+    elif kind == "symbol":
+        session.on_symbol(
+            payload,
+            trimmed=event.get("trimmed", False),
+            ce=event.get("ce", False),
+            multicast=event.get("multicast", False),
+            sent_at=event.get("sent_at", 0.0),
+        )
+    elif kind == "pull":
+        session.on_pull(payload)
+    elif kind == "done":
+        session.on_done(payload)
+    elif kind == "done_ack":
+        session.on_done_ack(payload)
+    else:
+        raise ValueError(f"unknown trace event type {kind!r}")
+
+
+def run_sim_trace(trace: dict) -> list[Decision]:
+    """Replay a trace through the simulator driver; return its decisions."""
+    sim = Simulator()
+    sink: list[Decision] = []
+    host = StubHost(sim, sink)
+    agent = PolyraptorAgent(sim, host, _config(trace))
+    session = _build_sim_session(trace, agent, sink)
+    for event in trace["events"]:
+        sim.run(until=event["t"])
+        _inject(trace, event, session)
+    sim.run(until=trace["horizon"])
+    return sink
+
+
+def _build_sim_session(trace: dict, agent: PolyraptorAgent, sink: list):
+    spec = trace["session"]
+    on_complete = lambda t: sink.append(("complete", repr(t)))  # noqa: E731
+    if trace["kind"] == "receiver":
+        return ReceiverSession(
+            agent=agent,
+            session_id=spec["session_id"],
+            object_bytes=spec["object_bytes"],
+            expected_senders=spec.get("expected_senders"),
+            on_complete=on_complete,
+        )
+    return SenderSession(
+        agent=agent,
+        session_id=spec["session_id"],
+        object_bytes=spec["object_bytes"],
+        receiver_host_ids=spec["receiver_host_ids"],
+        multicast_group=spec.get("multicast_group"),
+        sender_index=spec.get("sender_index", 0),
+        num_senders=spec.get("num_senders", 1),
+        on_all_receivers_done=on_complete,
+    )
+
+
+def run_net_trace(trace: dict) -> list[Decision]:
+    """Replay a trace through the net driver; return its decisions.
+
+    Every outgoing payload is round-tripped through
+    :func:`~repro.net.wire.encode_frame` / ``decode_frame`` first, so a
+    lossy codec (a field dropped, truncated or re-quantised on the wire)
+    breaks conformance even when the in-memory decisions agree.
+    """
+    scheduler = ManualScheduler()
+    sink: list[Decision] = []
+
+    def transmit(action: SendPacket) -> None:
+        payload = decode_frame(encode_frame(action.payload)).payload
+        dest: Any = action.dest
+        if action.multicast_group is not None:
+            dest = ("group", action.multicast_group)
+        sink.append(
+            ("packet", repr(scheduler.time()), action.kind, dest, repr(payload))
+        )
+
+    driver = _build_net_driver(trace, scheduler, transmit, sink)
+    for event in trace["events"]:
+        scheduler.run_until(event["t"])
+        _inject(trace, event, driver)
+    scheduler.run_until(trace["horizon"])
+    return sink
+
+
+def _build_net_driver(
+    trace: dict,
+    scheduler: ManualScheduler,
+    transmit: Callable[[SendPacket], None],
+    sink: list,
+):
+    spec = trace["session"]
+    config = _config(trace)
+    on_complete = lambda t: sink.append(("complete", repr(t)))  # noqa: E731
+    if trace["kind"] == "receiver":
+        core = ReceiverCore(
+            config=config,
+            session_id=spec["session_id"],
+            object_bytes=spec["object_bytes"],
+            local_host=LOCAL_HOST_ID,
+            expected_senders=spec.get("expected_senders"),
+            now=scheduler.time(),
+        )
+        return NetReceiverDriver(
+            core, scheduler, transmit,
+            on_complete=on_complete, max_rate_bps=LINK_RATE_BPS,
+        )
+    core = SenderCore(
+        config=config,
+        session_id=spec["session_id"],
+        object_bytes=spec["object_bytes"],
+        receiver_host_ids=spec["receiver_host_ids"],
+        local_host=LOCAL_HOST_ID,
+        link_rate_bps=LINK_RATE_BPS,
+        multicast_group=spec.get("multicast_group"),
+        sender_index=spec.get("sender_index", 0),
+        num_senders=spec.get("num_senders", 1),
+    )
+    return NetSenderDriver(core, scheduler, transmit, on_complete=on_complete)
