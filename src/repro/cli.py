@@ -367,9 +367,15 @@ def _size_type(value: str) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
+    import json
 
     from repro.net import ObjectStore, run_server
-    from repro.net.server import deterministic_object
+    from repro.net.server import (
+        DEFAULT_GRANT_TTL_S,
+        DEFAULT_SESSION_IDLE_S,
+        deterministic_object,
+    )
+    from repro.obs import MetricRegistry
 
     store = ObjectStore()
     for spec in args.object or []:
@@ -384,6 +390,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             store.put(os.path.basename(path), handle.read())
     if len(store) == 0:
         raise SystemExit("serve needs at least one --object NAME=SIZE or --file PATH")
+    registry = MetricRegistry()
 
     async def _serve():
         ready = asyncio.Event()
@@ -395,6 +402,11 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 loss_rate=args.loss,
                 loss_seed=args.loss_seed,
                 max_sessions=args.max_sessions,
+                max_concurrent_sessions=args.max_concurrent_sessions,
+                grant_ttl_s=args.grant_ttl,
+                session_idle_timeout_s=args.idle_timeout,
+                mtu=args.mtu,
+                registry=registry,
                 ready=ready,
             )
         )
@@ -407,11 +419,44 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         return await task
 
     protocol = asyncio.run(_serve())
+    if args.server_telemetry is not None:
+        with open(args.server_telemetry, "w", encoding="utf-8") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"telemetry: wrote server counters to {args.server_telemetry}",
+            file=sys.stderr,
+        )
     return (
         f"served {protocol.sessions_completed} session(s) "
-        f"(frames dropped: {protocol.frames_dropped}, "
+        f"(reaped: {protocol.sessions_reaped}, "
+        f"busy rejections: {protocol.busy_rejections}, "
+        f"frames dropped: {protocol.frames_dropped}, "
         f"malformed: {protocol.malformed_frames})"
     )
+
+
+def _sources_type(value: str) -> list:
+    """Parse ``host:port,host:port,...`` into a list of (host, port) pairs."""
+    endpoints = []
+    for item in value.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, sep, port = item.rpartition(":")
+        if not sep or not host:
+            raise argparse.ArgumentTypeError(
+                f"--sources expects host:port[,host:port...], got {item!r}"
+            )
+        try:
+            endpoints.append((host, int(port)))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid port in --sources entry {item!r}"
+            ) from None
+    if not endpoints:
+        raise argparse.ArgumentTypeError("--sources needs at least one host:port")
+    return endpoints
 
 
 def _cmd_fetch(args: argparse.Namespace) -> str:
@@ -424,9 +469,11 @@ def _cmd_fetch(args: argparse.Namespace) -> str:
             args.name,
             host=args.host,
             port=args.port,
+            sources=args.sources,
             loss_rate=args.loss,
             loss_seed=args.loss_seed,
             transfer_timeout_s=args.timeout,
+            mtu=args.mtu,
         )
     except FetchError as exc:
         raise SystemExit(f"fetch failed: {exc}") from exc
@@ -563,6 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the induced-loss stream")
     serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
                        help="exit after N completed sessions (default: serve forever)")
+    serve.add_argument("--max-concurrent-sessions", type=int, default=None,
+                       metavar="N",
+                       help="answer OPENs beyond N in-flight grants with "
+                            "OPEN_ERR busy (default: unbounded)")
+    serve.add_argument("--grant-ttl", type=float, default=30.0, metavar="S",
+                       help="expire grants idle for S seconds that never "
+                            "progressed to a transfer (default 30)")
+    serve.add_argument("--idle-timeout", type=float, default=30.0, metavar="S",
+                       help="reap live sessions whose client stayed silent "
+                            "for S seconds (default 30)")
+    serve.add_argument("--mtu", type=int, default=None, metavar="BYTES",
+                       help="cap granted symbol sizes so every DATA frame "
+                            "fits one datagram of this path MTU")
+    serve.add_argument("--telemetry", dest="server_telemetry", default=None,
+                       metavar="PATH",
+                       help="write the server's metric-registry snapshot "
+                            "(grants, sessions, symbols, rejections) to PATH "
+                            "as JSON on exit")
     serve.set_defaults(handler=_cmd_serve)
 
     fetch = subparsers.add_parser(
@@ -571,6 +636,14 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("name", help="object name to fetch")
     fetch.add_argument("--host", default="127.0.0.1", help="server address")
     fetch.add_argument("--port", type=int, default=9109, help="server UDP port")
+    fetch.add_argument("--sources", type=_sources_type, default=None,
+                       metavar="HOST:PORT,...",
+                       help="fetch from several replica holders at once (one "
+                            "session per server, all folded into one decode); "
+                            "supersedes --host/--port")
+    fetch.add_argument("--mtu", type=int, default=None, metavar="BYTES",
+                       help="propose a symbol size that fits one datagram of "
+                            "this path MTU")
     fetch.add_argument("-o", "--output", default=None, metavar="PATH",
                        help="write the fetched bytes to PATH")
     fetch.add_argument("--loss", type=float, default=0.0, metavar="P",

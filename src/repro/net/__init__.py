@@ -22,8 +22,15 @@ dependencies.
 from repro.net.client import FetchError, fetch_object, fetch_object_async
 from repro.net.driver import NetReceiverDriver, NetSenderDriver, wire_config
 from repro.net.scheduler import AsyncioScheduler, ManualScheduler, NetTimer
-from repro.net.server import DEFAULT_PORT, ObjectStore, PolyraptorServerProtocol, run_server
-from repro.net.wire import WireError, decode_frame, encode_frame
+from repro.net.server import (
+    DEFAULT_PORT,
+    ObjectStore,
+    PolyraptorServerProtocol,
+    deterministic_object,
+    run_server,
+    sender_host_id,
+)
+from repro.net.wire import WireError, decode_frame, encode_frame, max_symbol_size_for_mtu
 
 __all__ = [
     "AsyncioScheduler",
@@ -37,9 +44,12 @@ __all__ = [
     "PolyraptorServerProtocol",
     "WireError",
     "decode_frame",
+    "deterministic_object",
     "encode_frame",
     "fetch_object",
     "fetch_object_async",
+    "max_symbol_size_for_mtu",
     "run_server",
+    "sender_host_id",
     "wire_config",
 ]

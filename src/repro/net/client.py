@@ -1,35 +1,56 @@
 """The ``repro fetch`` endpoint: retrieve one named object over real UDP.
 
-A fetch is three phases on one socket:
+A fetch is three phases, one socket **per source** (a single server by
+default, or any number of replica holders via ``sources=[...]``):
 
-1. **Open** -- send ``OPEN(name)`` until an ``OPEN_OK`` (session id +
-   object size) or ``OPEN_ERR`` arrives; retransmits are idempotent
-   server-side, so a lost grant costs one round trip.
-2. **Transfer** -- run a :class:`~repro.protocol.receiver.ReceiverCore`
-   through :class:`~repro.net.driver.NetReceiverDriver`: the REQUEST goes
-   out (retransmitted if the server stays silent), symbols stream back,
-   pulls are paced by TFRC, and the stall timer plus gap-triggered pulls
-   recover from datagram loss.
+1. **Open** -- send ``OPEN(name, symbol_size)`` to every source until an
+   ``OPEN_OK`` (session id + object size + granted symbol size) or
+   ``OPEN_ERR`` arrives; retransmits are idempotent server-side, so a lost
+   grant costs one round trip.  Every source must grant the same object
+   size and symbol size -- mismatched grants abort the fetch.
+2. **Transfer** -- run a single
+   :class:`~repro.protocol.receiver.ReceiverCore` (with one expected
+   sender per source) through
+   :class:`~repro.net.driver.NetReceiverDriver`: REQUESTs go out to every
+   source, symbols from all of them fold into one decode, pulls are paced
+   by TFRC and routed to whichever sender delivered (the paper's natural
+   load balancing), and the stall timer plus gap-triggered pulls recover
+   from datagram loss.  Each server grants its *own* session id; the
+   per-source connection translates between that wire id and the core's
+   local session id on every frame, so the core never has to know.
 3. **Linger** -- after decoding completes, stay up briefly so DONE
-   retransmissions can land their acks and the server can retire the
-   session cleanly.
+   retransmissions can land their acks and the servers can retire their
+   sessions cleanly.
+
+A source that stays silent for ``resume_interval_s`` -- regardless of how
+many symbols it already delivered -- is re-opened and re-requested.  While
+the server still holds the grant this is a pure (idempotent) retransmit;
+after a server restart it obtains a fresh grant, re-binds the connection's
+wire session id and resumes the transfer with the symbols already decoded,
+so a mid-transfer restart costs one silent interval, not the whole fetch.
 
 An optional seeded loss rate drops arriving *symbol* frames before they
 reach the protocol core, turning a clean loopback into a reproducibly
-lossy path for integration tests.
+lossy path for integration tests (each source's drop stream is seeded
+independently).
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Optional
+from dataclasses import replace as dc_replace
+from typing import Optional, Sequence, Tuple
 
 from repro.core.config import PolyraptorConfig
 from repro.core.packets import DoneAckPayload, SymbolPayload
 from repro.net.driver import DEFAULT_WIRE_RATE_BPS, NetReceiverDriver, wire_config
 from repro.net.scheduler import AsyncioScheduler
-from repro.net.server import CLIENT_HOST_ID, DEFAULT_PORT, SERVER_HOST_ID
+from repro.net.server import (
+    CLIENT_HOST_ID,
+    DEFAULT_PORT,
+    sender_host_id,
+)
 from repro.net.wire import (
     OpenErrPayload,
     OpenOkPayload,
@@ -37,6 +58,7 @@ from repro.net.wire import (
     WireError,
     decode_frame,
     encode_frame,
+    max_symbol_size_for_mtu,
 )
 from repro.protocol.actions import SendPacket
 from repro.protocol.receiver import ReceiverCore
@@ -47,25 +69,56 @@ class FetchError(RuntimeError):
 
 
 class _FetchProtocol(asyncio.DatagramProtocol):
-    """Client-side socket glue: frames in, driver events out."""
+    """Client-side socket glue for one source: frames in, driver events out.
 
-    def __init__(self, loss_rate: float, loss_seed: int) -> None:
+    Owns the source's wire-level session id (the id *this* server granted)
+    and rewrites it to the core's local session id on arriving frames --
+    and back on departing ones -- so one :class:`ReceiverCore` can fold
+    symbols from any number of independently granted sessions.
+    """
+
+    def __init__(self, loss_rate: float, loss_seed: int, index: int = 0) -> None:
         self._loss_rate = loss_rate
         self._loss_rng = random.Random(loss_seed)
+        self.index = index
+        #: the protocol host id this source's sender stamps on its symbols
+        self.sender_host = sender_host_id(index)
         self.transport: Optional[asyncio.DatagramTransport] = None
         self.driver: Optional[NetReceiverDriver] = None
         self.grant: Optional[asyncio.Future] = None
+        #: the session id granted by this source's server (None until open)
+        self.wire_session_id: Optional[int] = None
+        #: loop time of the last frame this source delivered to the driver
+        self.last_heard = 0.0
         self.frames_dropped = 0
         self.malformed_frames = 0
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
-        self.grant = asyncio.get_event_loop().create_future()
+        self.grant = asyncio.get_running_loop().create_future()
+
+    def reset_grant(self) -> None:
+        """Arm a fresh grant future (before an OPEN or a recovery re-OPEN)."""
+        self.grant = asyncio.get_running_loop().create_future()
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
         # e.g. ICMP port-unreachable while the server is still starting;
         # the OPEN retry loop absorbs it.
         pass
+
+    def _expected_session_id(self) -> Optional[int]:
+        if self.wire_session_id is not None:
+            return self.wire_session_id
+        if self.driver is not None:
+            return self.driver.core.session_id
+        return None
+
+    def _to_core(self, payload):
+        """Rewrite a wire-session payload to the core's local session id."""
+        core_id = self.driver.core.session_id
+        if payload.session_id != core_id:
+            payload = dc_replace(payload, session_id=core_id)
+        return payload
 
     def datagram_received(self, data: bytes, addr) -> None:
         try:
@@ -80,15 +133,17 @@ class _FetchProtocol(asyncio.DatagramProtocol):
                 return
             if (
                 self.driver is not None
-                and payload.session_id == self.driver.core.session_id
+                and payload.session_id == self._expected_session_id()
             ):
-                self.driver.on_symbol(payload, sent_at=frame.sent_at)
+                self._note_heard()
+                self.driver.on_symbol(self._to_core(payload), sent_at=frame.sent_at)
         elif isinstance(payload, DoneAckPayload):
             if (
                 self.driver is not None
-                and payload.session_id == self.driver.core.session_id
+                and payload.session_id == self._expected_session_id()
             ):
-                self.driver.on_done_ack(payload)
+                self._note_heard()
+                self.driver.on_done_ack(self._to_core(payload))
         elif isinstance(payload, (OpenOkPayload, OpenErrPayload)):
             if self.grant is not None and not self.grant.done():
                 self.grant.set_result(payload)
@@ -96,23 +151,34 @@ class _FetchProtocol(asyncio.DatagramProtocol):
             # Server-bound frame looped back at us; ignore.
             self.malformed_frames += 1
 
+    def _note_heard(self) -> None:
+        self.last_heard = asyncio.get_running_loop().time()
+
     def send_raw(self, datagram: bytes) -> None:
         if self.transport is not None:
             self.transport.sendto(datagram)
 
     def transmit(self, action: SendPacket) -> None:
-        self.send_raw(encode_frame(action.payload))
+        """Send one core action to this source, stamped with its wire id."""
+        payload = action.payload
+        if (
+            self.wire_session_id is not None
+            and payload.session_id != self.wire_session_id
+        ):
+            payload = dc_replace(payload, session_id=self.wire_session_id)
+        self.send_raw(encode_frame(payload))
 
 
-def _done_fully_acked(core: ReceiverCore) -> bool:
-    senders = core._known_senders | set(core.expected_senders)
-    return not (senders - core._done_acked)
+def _granted_symbol_size(grant: OpenOkPayload, default: int) -> int:
+    """The symbol size a grant fixes (0 means the server offered no opinion)."""
+    return grant.symbol_size if grant.symbol_size > 0 else default
 
 
 async def fetch_object_async(
     name: str,
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
+    sources: Optional[Sequence[Tuple[str, int]]] = None,
     config: Optional[PolyraptorConfig] = None,
     loss_rate: float = 0.0,
     loss_seed: int = 1,
@@ -121,40 +187,96 @@ async def fetch_object_async(
     open_retries: int = 5,
     transfer_timeout_s: float = 30.0,
     linger_s: float = 0.25,
+    mtu: Optional[int] = None,
+    resume_interval_s: float = 1.0,
 ) -> bytes:
-    """Fetch one named object from a ``repro serve`` endpoint.
+    """Fetch one named object from one or more ``repro serve`` endpoints.
 
-    Returns the decoded object bytes; raises :class:`FetchError` on refusal
-    or timeout.
+    ``sources`` is a sequence of (host, port) replica holders; when omitted
+    the single (``host``, ``port``) pair is used.  With N sources the fetch
+    opens one session per server and folds all their symbols into a single
+    decode.  ``mtu`` caps the proposed symbol size so every DATA frame fits
+    one datagram of that path MTU.  Returns the decoded object bytes;
+    raises :class:`FetchError` on refusal, mismatched grants or timeout.
     """
     config = config if config is not None else wire_config()
     if not config.carry_payload:
         raise FetchError("fetching real bytes requires a carry_payload config")
-    loop = asyncio.get_event_loop()
-    transport, protocol = await loop.create_datagram_endpoint(
-        lambda: _FetchProtocol(loss_rate, loss_seed),
-        remote_addr=(host, port),
-    )
+    endpoints = list(sources) if sources else [(host, port)]
+    if not endpoints:
+        raise FetchError("a fetch needs at least one source")
+    proposal = config.symbol_size_bytes
+    if mtu is not None:
+        fitting = max_symbol_size_for_mtu(mtu)
+        if fitting <= 0:
+            raise FetchError(f"mtu {mtu} cannot carry any symbol payload")
+        proposal = min(proposal, fitting)
+    if resume_interval_s <= 0:
+        raise FetchError("resume_interval_s must be positive")
+
+    loop = asyncio.get_running_loop()
+    connections: list[_FetchProtocol] = []
     try:
-        grant = await _open_session(protocol, name, open_timeout_s, open_retries)
+        for index, (src_host, src_port) in enumerate(endpoints):
+            _, protocol = await loop.create_datagram_endpoint(
+                lambda idx=index: _FetchProtocol(loss_rate, loss_seed + idx, idx),
+                remote_addr=(src_host, src_port),
+            )
+            connections.append(protocol)
+
+        grants = await asyncio.gather(
+            *(
+                _open_session(conn, name, proposal, open_timeout_s, open_retries)
+                for conn in connections
+            )
+        )
+        object_bytes = grants[0].object_bytes
+        symbol_size = _granted_symbol_size(grants[0], config.symbol_size_bytes)
+        for endpoint, grant in zip(endpoints, grants):
+            granted = _granted_symbol_size(grant, config.symbol_size_bytes)
+            if grant.object_bytes != object_bytes or granted != symbol_size:
+                raise FetchError(
+                    f"mismatched grants for {name!r}: {endpoint[0]}:{endpoint[1]} "
+                    f"offers {grant.object_bytes} bytes in {granted}-byte symbols, "
+                    f"expected {object_bytes} bytes in {symbol_size}-byte symbols"
+                )
+        if symbol_size > proposal:
+            raise FetchError(
+                f"server granted {symbol_size}-byte symbols, larger than the "
+                f"proposed {proposal} (path MTU would fragment every frame)"
+            )
+        if symbol_size != config.symbol_size_bytes:
+            config = dc_replace(config, symbol_size_bytes=symbol_size)
+
         scheduler = AsyncioScheduler(loop)
         completed = asyncio.Event()
         core = ReceiverCore(
             config=config,
-            session_id=grant.session_id,
-            object_bytes=grant.object_bytes,
+            session_id=grants[0].session_id,
+            object_bytes=object_bytes,
             local_host=CLIENT_HOST_ID,
-            expected_senders=[SERVER_HOST_ID],
+            expected_senders=[conn.sender_host for conn in connections],
             now=scheduler.time(),
         )
+        by_sender = {conn.sender_host: conn for conn in connections}
+
+        def route(action: SendPacket) -> None:
+            conn = by_sender.get(action.dest)
+            if conn is not None:
+                conn.transmit(action)
+
         driver = NetReceiverDriver(
             core,
             scheduler,
-            transmit=protocol.transmit,
+            transmit=route,
             on_complete=lambda _t: completed.set(),
             max_rate_bps=max_rate_bps,
         )
-        protocol.driver = driver
+        now = loop.time()
+        for conn, grant in zip(connections, grants):
+            conn.wire_session_id = grant.session_id
+            conn.driver = driver
+            conn.last_heard = now
         driver.start_fetch()
 
         deadline = loop.time() + transfer_timeout_s
@@ -169,34 +291,91 @@ async def fetch_object_async(
                 await asyncio.wait_for(
                     completed.wait(), min(remaining, open_timeout_s)
                 )
+                break
             except asyncio.TimeoutError:
-                if core.symbols_received == 0 and core.trimmed_received == 0:
-                    # The REQUEST (or the whole initial window) was lost and
-                    # the server never learned of the session; REQUESTs are
-                    # idempotent, so just ask again.
-                    driver.start_fetch()
+                pass
+            if core.symbols_received == 0 and core.trimmed_received == 0:
+                # The REQUESTs (or the whole initial window) were lost and
+                # no server ever learned of the session; REQUESTs are
+                # idempotent, so just ask again.
+                driver.start_fetch()
+            await _recover_silent_sources(
+                connections, driver, name, proposal, object_bytes, symbol_size,
+                config, open_timeout_s, resume_interval_s, completed,
+            )
 
         data = core.received_data
         if data is None:
             raise FetchError(f"transfer of {name!r} completed without a decoded payload")
 
-        # Let DONE retransmissions land their acks so the server retires the
-        # session; bounded, and cut short as soon as every ack is in.
+        # Let DONE retransmissions land their acks so the servers retire
+        # their sessions; bounded, and cut short as soon as every ack is in.
         linger_deadline = loop.time() + linger_s
-        while loop.time() < linger_deadline and not _done_fully_acked(core):
+        while loop.time() < linger_deadline and not core.done_fully_acked:
             await asyncio.sleep(0.01)
         return data
     finally:
-        transport.close()
+        for conn in connections:
+            if conn.transport is not None:
+                conn.transport.close()
+
+
+async def _recover_silent_sources(
+    connections: Sequence[_FetchProtocol],
+    driver: NetReceiverDriver,
+    name: str,
+    proposal: int,
+    object_bytes: int,
+    symbol_size: int,
+    config: PolyraptorConfig,
+    open_timeout_s: float,
+    resume_interval_s: float,
+    completed: asyncio.Event,
+) -> None:
+    """Re-OPEN and re-REQUEST every source silent past ``resume_interval_s``.
+
+    Unconditional on prior progress: a server restarted mid-transfer holds
+    no grant for our session id anymore, so a bare re-REQUEST would be
+    ignored forever -- the re-OPEN either returns the same grant (server
+    alive, a pure idempotent retransmit) or a fresh one (server restarted),
+    which is re-bound to the connection before the REQUESTs go out again.
+    A re-grant that changes the object's size or symbol size is a different
+    object and aborts the fetch.
+    """
+    loop = asyncio.get_running_loop()
+    for conn in connections:
+        if completed.is_set():
+            return
+        if loop.time() - conn.last_heard <= resume_interval_s:
+            continue
+        # Pace the attempts: one re-OPEN per silent interval per source.
+        conn.last_heard = loop.time()
+        try:
+            grant = await _open_session(conn, name, proposal, open_timeout_s, 1)
+        except FetchError:
+            continue  # still down; the overall deadline bounds the retries
+        if (
+            grant.object_bytes != object_bytes
+            or _granted_symbol_size(grant, config.symbol_size_bytes) != symbol_size
+        ):
+            raise FetchError(
+                f"source {conn.index} re-granted {name!r} with different "
+                f"parameters mid-transfer (object changed on the server?)"
+            )
+        conn.wire_session_id = grant.session_id
+        if not completed.is_set():
+            driver.start_fetch()
 
 
 async def _open_session(
     protocol: _FetchProtocol,
     name: str,
+    symbol_size: int,
     open_timeout_s: float,
     open_retries: int,
 ) -> OpenOkPayload:
-    open_frame = encode_frame(OpenPayload(object_name=name))
+    open_frame = encode_frame(OpenPayload(object_name=name, symbol_size=symbol_size))
+    protocol.reset_grant()
     for _ in range(max(1, open_retries)):
         protocol.send_raw(open_frame)
         try:

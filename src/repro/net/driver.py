@@ -100,6 +100,16 @@ class _NetDriverBase:
             self._drain()
         return fire
 
+    def close(self) -> None:
+        """Disarm every timer this driver owns.
+
+        Called when an endpoint retires the session early (idle reaping, a
+        dead peer): a still-armed timer would otherwise fire into a session
+        the endpoint has already forgotten and keep re-arming itself forever.
+        """
+        for timer in self._timers.values():
+            timer.stop()
+
     def _drain(self) -> None:
         actions = self.core.poll_actions()
         while actions:
@@ -198,6 +208,11 @@ class NetReceiverDriver(_NetDriverBase):
         )
         # The core arms its stall timer at construction.
         self._drain()
+
+    def close(self) -> None:
+        """Disarm timers and drop the session's queued pulls from the pacer."""
+        super().close()
+        self.pacer.cancel_session(self.core.session_id)
 
     def start_fetch(self) -> None:
         """Send the session's REQUEST(s); safe to call again as a retransmit."""

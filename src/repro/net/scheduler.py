@@ -42,7 +42,10 @@ class AsyncioScheduler:
     """Scheduler backed by a running asyncio event loop."""
 
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        # get_running_loop, not the deprecated get_event_loop: a scheduler
+        # constructed outside a running loop is a bug, not a reason to spin
+        # up an implicit one.
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
 
     def time(self) -> float:
         return self._loop.time()
@@ -102,8 +105,11 @@ class ManualScheduler:
         """Run every callback due at or before ``until``; advance the clock to it.
 
         Mirrors ``Simulator.run(until=...)``: the clock lands exactly on
-        ``until`` even when no callback was due.
+        ``until`` even when no callback was due.  A target in the past is
+        clamped to the current time -- the deterministic clock is monotonic
+        and never moves backwards.
         """
+        until = max(until, self._now)
         fired = 0
         while True:
             self._discard_cancelled()

@@ -5,11 +5,22 @@ of traffic on one socket:
 
 * ``OPEN`` handshakes, mapping an object name to a freshly granted session
   id (idempotently -- a retransmitted OPEN gets the same grant back, so a
-  lost ``OPEN_OK`` costs one round trip, never a duplicate session);
+  lost ``OPEN_OK`` costs one round trip, never a duplicate session) and
+  negotiating the session's symbol size against the client's path MTU;
 * ``REQUEST`` frames, spinning up one
   :class:`~repro.protocol.sender.SenderCore` per session exactly like the
   simulator's agent does on a fetch request (duplicates are ignored);
 * ``PULL`` / ``DONE`` frames for the live sessions.
+
+Sessions have a real lifecycle: a grant is retired the moment its session
+completes (so a later re-fetch of the same object gets a *new* session id),
+grants that never progress to a transfer expire after a TTL, sessions whose
+client went silent are reaped after an idle timeout, and a
+``max_concurrent_sessions`` cap answers excess OPENs with
+``OPEN_ERR code=busy`` instead of growing without bound.  A periodic sweep
+on the event loop enforces the TTL and idle limits; every lifecycle event
+is counted in a :class:`~repro.obs.MetricRegistry` so ``repro serve
+--telemetry`` can export the server's aggregate state.
 
 Junk datagrams are counted and dropped -- :mod:`repro.net.wire` decoding is
 total -- so the server survives port scans and version-skewed peers.  An
@@ -22,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import random
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.config import PolyraptorConfig
@@ -33,13 +45,18 @@ from repro.net.driver import (
 )
 from repro.net.scheduler import AsyncioScheduler
 from repro.net.wire import (
+    OPEN_ERR_BAD_SYMBOL_SIZE,
+    OPEN_ERR_BUSY,
+    OPEN_ERR_UNKNOWN_OBJECT,
     OpenErrPayload,
     OpenOkPayload,
     OpenPayload,
     WireError,
     decode_frame,
     encode_frame,
+    max_symbol_size_for_mtu,
 )
+from repro.obs import MetricRegistry
 from repro.protocol.actions import KIND_DATA, SendPacket
 from repro.protocol.sender import SenderCore
 
@@ -48,11 +65,29 @@ DEFAULT_PORT = 9109
 
 #: Host ids stamped into protocol payloads on the wire.  The real network
 #: addresses peers by (ip, port); the protocol-level ids only distinguish
-#: the two ends of a session, so fixed values suffice.
+#: the ends of a session.  The client is host 1; the N replica holders of a
+#: multi-source fetch take the even ids 0, 2, 4, ... (see
+#: :func:`sender_host_id`), so a single-source session keeps the historical
+#: server id 0 and no sender ever collides with the client.
 SERVER_HOST_ID = 0
 CLIENT_HOST_ID = 1
 
+#: Default lifetime of a grant that never progresses to a completed
+#: transfer, and default idle bound on a session whose client went silent.
+DEFAULT_GRANT_TTL_S = 30.0
+DEFAULT_SESSION_IDLE_S = 30.0
+
 Address = Tuple[str, int]
+
+
+def sender_host_id(sender_index: int) -> int:
+    """The protocol host id a replica holder uses for ``sender_index``.
+
+    Even ids (0, 2, 4, ...) keep every sender distinct from the client's
+    fixed id 1 for any number of sources, while index 0 maps to the
+    historical :data:`SERVER_HOST_ID`.
+    """
+    return 2 * sender_index
 
 
 def deterministic_object(size: int, seed: str = "repro") -> bytes:
@@ -97,6 +132,21 @@ class ObjectStore:
         return len(self._objects)
 
 
+@dataclass
+class _Grant:
+    """One OPEN grant: the session id bound to (client address, object name).
+
+    ``created_at`` is refreshed by retransmitted OPENs and by the REQUEST
+    that starts the transfer, so the TTL measures *inactivity*, not age.
+    """
+
+    session_id: int
+    name: str
+    symbol_size: int
+    addr: Address
+    created_at: float
+
+
 class PolyraptorServerProtocol(asyncio.DatagramProtocol):
     """One UDP socket serving any number of concurrent fetch sessions."""
 
@@ -108,6 +158,11 @@ class PolyraptorServerProtocol(asyncio.DatagramProtocol):
         loss_seed: int = 0,
         max_sessions: Optional[int] = None,
         max_rate_bps: float = DEFAULT_WIRE_RATE_BPS,
+        max_concurrent_sessions: Optional[int] = None,
+        grant_ttl_s: float = DEFAULT_GRANT_TTL_S,
+        session_idle_timeout_s: float = DEFAULT_SESSION_IDLE_S,
+        mtu: Optional[int] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.store = store
         self.config = config if config is not None else wire_config()
@@ -115,25 +170,71 @@ class PolyraptorServerProtocol(asyncio.DatagramProtocol):
         self._loss_rate = loss_rate
         self._loss_rng = random.Random(loss_seed)
         self._max_sessions = max_sessions
+        self._max_concurrent = max_concurrent_sessions
+        if grant_ttl_s <= 0 or session_idle_timeout_s <= 0:
+            raise ValueError("grant_ttl_s and session_idle_timeout_s must be positive")
+        self.grant_ttl_s = grant_ttl_s
+        self.session_idle_timeout_s = session_idle_timeout_s
+        self._symbol_size_cap = self.config.symbol_size_bytes
+        if mtu is not None:
+            fitting = max_symbol_size_for_mtu(mtu)
+            if fitting <= 0:
+                raise ValueError(f"mtu {mtu} cannot carry any symbol payload")
+            self._symbol_size_cap = min(self._symbol_size_cap, fitting)
+        self.registry = registry if registry is not None else MetricRegistry()
         self.transport: Optional[asyncio.DatagramTransport] = None
         self.scheduler: Optional[AsyncioScheduler] = None
-        #: OPEN idempotency: (addr, name) -> granted session id
-        self._grants: Dict[Tuple[Address, str], int] = {}
-        self._grant_names: Dict[int, str] = {}
+        #: OPEN idempotency: (addr, name) -> live grant; session id -> same
+        #: grant for REQUEST lookup.  Both retire together.
+        self._grants: Dict[Tuple[Address, str], _Grant] = {}
+        self._grant_info: Dict[int, _Grant] = {}
         self._next_session_id = 1
+        #: every session id ever granted, in grant order (tests assert
+        #: completed ids are never reissued)
+        self.issued_session_ids: list[int] = []
         #: live sender drivers, keyed by (addr, session id)
         self._sessions: Dict[Tuple[Address, int], NetSenderDriver] = {}
+        self._session_activity: Dict[Tuple[Address, int], float] = {}
+        self._sweep_handle: Optional[Any] = None
         self.sessions_completed = 0
+        self.sessions_reaped = 0
+        self.grants_expired = 0
+        self.busy_rejections = 0
         self.frames_dropped = 0
         self.malformed_frames = 0
         #: set once ``max_sessions`` sessions have completed
         self.finished = asyncio.Event()
 
+    # Observability ------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(f"net.server.{name}").increment(amount)
+
+    def _update_gauges(self) -> None:
+        self.registry.gauge("net.server.grants_active").set(len(self._grant_info))
+        self.registry.gauge("net.server.sessions_active").set(len(self._sessions))
+
+    def _fold_session_stats(self, core: SenderCore) -> None:
+        """Fold one retiring session's core counters into the aggregates."""
+        self._count("symbols_sent", core.symbols_sent)
+        self._count("repair_symbols_sent", core.repair_symbols_sent)
+        self._count("pulls_received", core.pulls_received)
+
     # asyncio plumbing ---------------------------------------------------------
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
-        self.scheduler = AsyncioScheduler(asyncio.get_event_loop())
+        self.scheduler = AsyncioScheduler(asyncio.get_running_loop())
+        self._schedule_sweep()
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if self._sweep_handle is not None:
+            self._sweep_handle.cancel()
+            self._sweep_handle = None
+        for driver in self._sessions.values():
+            driver.close()
+        self._sessions.clear()
+        self._session_activity.clear()
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
         pass
@@ -141,11 +242,13 @@ class PolyraptorServerProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: Address) -> None:
         if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
             self.frames_dropped += 1
+            self._count("frames_dropped")
             return
         try:
             frame = decode_frame(data)
         except WireError:
             self.malformed_frames += 1
+            self._count("malformed_frames")
             return
         payload = frame.payload
         if isinstance(payload, OpenPayload):
@@ -153,77 +256,196 @@ class PolyraptorServerProtocol(asyncio.DatagramProtocol):
         elif isinstance(payload, RequestPayload):
             self._on_request(payload, addr)
         elif isinstance(payload, PullPayload):
-            driver = self._sessions.get((addr, payload.session_id))
+            key = (addr, payload.session_id)
+            driver = self._sessions.get(key)
             if driver is not None:
+                self._session_activity[key] = self.scheduler.time()
                 driver.on_pull(payload)
         elif isinstance(payload, DonePayload):
-            driver = self._sessions.get((addr, payload.session_id))
+            key = (addr, payload.session_id)
+            driver = self._sessions.get(key)
             if driver is not None:
+                self._session_activity[key] = self.scheduler.time()
                 driver.on_done(payload)
         else:
             # A client-bound frame echoed back at us; ignore.
             self.malformed_frames += 1
+            self._count("malformed_frames")
 
     # Handshake ---------------------------------------------------------------
 
+    def _refuse(self, addr: Address, code: int, reason: str) -> None:
+        self._sendto(encode_frame(OpenErrPayload(reason=reason, code=code)), addr)
+
     def _on_open(self, open_req: OpenPayload, addr: Address) -> None:
+        self._count("opens")
         data = self.store.get(open_req.object_name)
         if data is None:
-            self._sendto(
-                encode_frame(OpenErrPayload(reason=f"unknown object {open_req.object_name!r}")),
+            self._refuse(
                 addr,
+                OPEN_ERR_UNKNOWN_OBJECT,
+                f"unknown object {open_req.object_name!r}",
             )
             return
+        now = self.scheduler.time()
         key = (addr, open_req.object_name)
-        session_id = self._grants.get(key)
-        if session_id is None:
-            session_id = self._next_session_id
+        grant = self._grants.get(key)
+        if grant is None:
+            if (
+                self._max_concurrent is not None
+                and len(self._grant_info) >= self._max_concurrent
+            ):
+                self.busy_rejections += 1
+                self._count("busy_rejections")
+                self._refuse(
+                    addr,
+                    OPEN_ERR_BUSY,
+                    f"busy: {len(self._grant_info)} of "
+                    f"{self._max_concurrent} sessions in use",
+                )
+                return
+            symbol_size = self._symbol_size_cap
+            if open_req.symbol_size > 0:
+                symbol_size = min(symbol_size, open_req.symbol_size)
+            if symbol_size <= 0:
+                self._refuse(
+                    addr,
+                    OPEN_ERR_BAD_SYMBOL_SIZE,
+                    f"unusable symbol size {open_req.symbol_size}",
+                )
+                return
+            grant = _Grant(
+                session_id=self._next_session_id,
+                name=open_req.object_name,
+                symbol_size=symbol_size,
+                addr=addr,
+                created_at=now,
+            )
             self._next_session_id += 1
-            self._grants[key] = session_id
-            self._grant_names[session_id] = open_req.object_name
+            self._grants[key] = grant
+            self._grant_info[grant.session_id] = grant
+            self.issued_session_ids.append(grant.session_id)
+            self._count("grants_issued")
+            self._update_gauges()
+        else:
+            # Retransmitted OPEN: same grant, refreshed TTL.
+            grant.created_at = now
         self._sendto(
-            encode_frame(OpenOkPayload(session_id=session_id, object_bytes=len(data))),
+            encode_frame(
+                OpenOkPayload(
+                    session_id=grant.session_id,
+                    object_bytes=len(data),
+                    symbol_size=grant.symbol_size,
+                )
+            ),
             addr,
         )
 
     # Session lifecycle -------------------------------------------------------
 
+    def _session_config(self, grant: _Grant) -> PolyraptorConfig:
+        if grant.symbol_size == self.config.symbol_size_bytes:
+            return self.config
+        return replace(self.config, symbol_size_bytes=grant.symbol_size)
+
     def _on_request(self, request: RequestPayload, addr: Address) -> None:
         key = (addr, request.session_id)
+        now = self.scheduler.time()
         if key in self._sessions:
             # Duplicate REQUEST (client retransmit); the live session stands.
+            self._session_activity[key] = now
             return
-        name = self._grant_names.get(request.session_id)
-        object_data = self.store.get(name) if name is not None else None
+        grant = self._grant_info.get(request.session_id)
+        if grant is None or grant.addr != addr:
+            # Unknown or foreign session id: nothing to serve.  A client
+            # recovering from our restart re-OPENs first, so this stays rare.
+            return
+        object_data = self.store.get(grant.name)
         if object_data is None or len(object_data) != request.object_bytes:
-            # Unknown session id or stale size: nothing to serve.
+            # The object vanished or the grant is stale: reject the mismatch.
             return
-        core = SenderCore(
-            config=self.config,
-            session_id=request.session_id,
-            object_bytes=request.object_bytes,
-            receiver_host_ids=[request.receiver_host],
-            local_host=SERVER_HOST_ID,
-            link_rate_bps=self.max_rate_bps,
-            sender_index=request.sender_index,
-            num_senders=request.num_senders,
-            object_data=object_data if self.config.carry_payload else None,
-        )
+        try:
+            core = SenderCore(
+                config=self._session_config(grant),
+                session_id=request.session_id,
+                object_bytes=request.object_bytes,
+                receiver_host_ids=[request.receiver_host],
+                local_host=sender_host_id(request.sender_index),
+                link_rate_bps=self.max_rate_bps,
+                sender_index=request.sender_index,
+                num_senders=request.num_senders,
+                object_data=object_data if self.config.carry_payload else None,
+            )
+        except ValueError:
+            # e.g. sender_index >= num_senders from a confused client.
+            self.malformed_frames += 1
+            self._count("malformed_frames")
+            return
         driver = NetSenderDriver(
             core,
             self.scheduler,
             transmit=lambda action, _addr=addr: self._transmit(action, _addr),
             on_complete=lambda _t, _key=key: self._session_done(_key),
         )
+        grant.created_at = now
         self._sessions[key] = driver
+        self._session_activity[key] = now
+        self._count("sessions_started")
+        self._update_gauges()
         driver.start()
 
+    def _retire_grant(self, session_id: int) -> None:
+        grant = self._grant_info.pop(session_id, None)
+        if grant is not None:
+            self._grants.pop((grant.addr, grant.name), None)
+
     def _session_done(self, key: Tuple[Address, int]) -> None:
-        if self._sessions.pop(key, None) is None:
+        driver = self._sessions.pop(key, None)
+        if driver is None:
             return
+        driver.close()
+        self._session_activity.pop(key, None)
+        self._retire_grant(key[1])
+        self._fold_session_stats(driver.core)
         self.sessions_completed += 1
+        self._count("sessions_completed")
+        self._update_gauges()
         if self._max_sessions is not None and self.sessions_completed >= self._max_sessions:
             self.finished.set()
+
+    # TTL / idle sweep ---------------------------------------------------------
+
+    @property
+    def _sweep_interval_s(self) -> float:
+        return max(0.05, min(self.grant_ttl_s, self.session_idle_timeout_s) / 4.0)
+
+    def _schedule_sweep(self) -> None:
+        self._sweep_handle = self.scheduler.call_later(
+            self._sweep_interval_s, self._sweep
+        )
+
+    def _sweep(self) -> None:
+        """Reap idle sessions and expired grants; reschedules itself."""
+        now = self.scheduler.time()
+        for key, driver in list(self._sessions.items()):
+            last = self._session_activity.get(key, now)
+            if now - last > self.session_idle_timeout_s:
+                del self._sessions[key]
+                self._session_activity.pop(key, None)
+                driver.close()
+                self._retire_grant(key[1])
+                self._fold_session_stats(driver.core)
+                self.sessions_reaped += 1
+                self._count("sessions_reaped")
+        for session_id, grant in list(self._grant_info.items()):
+            if (grant.addr, session_id) in self._sessions:
+                continue  # a live transfer keeps its grant
+            if now - grant.created_at > self.grant_ttl_s:
+                self._retire_grant(session_id)
+                self.grants_expired += 1
+                self._count("grants_expired")
+        self._update_gauges()
+        self._schedule_sweep()
 
     # Output ------------------------------------------------------------------
 
@@ -246,6 +468,11 @@ async def run_server(
     max_sessions: Optional[int] = None,
     max_rate_bps: float = DEFAULT_WIRE_RATE_BPS,
     ready: Optional[asyncio.Event] = None,
+    max_concurrent_sessions: Optional[int] = None,
+    grant_ttl_s: float = DEFAULT_GRANT_TTL_S,
+    session_idle_timeout_s: float = DEFAULT_SESSION_IDLE_S,
+    mtu: Optional[int] = None,
+    registry: Optional[MetricRegistry] = None,
 ) -> PolyraptorServerProtocol:
     """Serve the store on (host, port) until ``max_sessions`` complete.
 
@@ -254,7 +481,7 @@ async def run_server(
     not race the bind.  Returns the protocol instance (its counters are the
     run's statistics).
     """
-    loop = asyncio.get_event_loop()
+    loop = asyncio.get_running_loop()
     transport, protocol = await loop.create_datagram_endpoint(
         lambda: PolyraptorServerProtocol(
             store,
@@ -263,6 +490,11 @@ async def run_server(
             loss_seed=loss_seed,
             max_sessions=max_sessions,
             max_rate_bps=max_rate_bps,
+            max_concurrent_sessions=max_concurrent_sessions,
+            grant_ttl_s=grant_ttl_s,
+            session_idle_timeout_s=session_idle_timeout_s,
+            mtu=mtu,
+            registry=registry,
         ),
         local_addr=(host, port),
     )

@@ -12,9 +12,12 @@ verbatim (same fields, no reinterpretation), plus three session-setup
 frames for the name-to-session handshake a real network needs (the sim
 hands out session ids out of band):
 
-* ``OPEN``      -- client asks for an object by name;
-* ``OPEN_OK``   -- server grants a session id and reveals the object size;
-* ``OPEN_ERR``  -- server refuses (unknown name), with a reason string.
+* ``OPEN``      -- client asks for an object by name, proposing the
+  largest symbol payload its path MTU admits (0 = no preference);
+* ``OPEN_OK``   -- server grants a session id, reveals the object size and
+  fixes the session's symbol size (never larger than the proposal);
+* ``OPEN_ERR``  -- server refuses, with a machine-readable code
+  (unknown object, busy, unusable symbol size) and a reason string.
 
 Symbol frames additionally carry the sender's monotonic emission timestamp
 (``sent_at``) so receivers can take RTT samples for TFRC, exactly like the
@@ -42,7 +45,9 @@ from repro.core.packets import (
 #: First bytes of every frame.
 MAGIC = b"PQ"
 #: Bumped on any incompatible framing change; decoders reject other versions.
-WIRE_VERSION = 1
+#: Version 2 added symbol-size negotiation to OPEN/OPEN_OK and the refusal
+#: code to OPEN_ERR.
+WIRE_VERSION = 2
 
 _HEADER = struct.Struct("!2sBB")
 
@@ -60,11 +65,32 @@ _PULL = struct.Struct("!QIIiId")  # block_hint: -1 encodes None
 _REQUEST = struct.Struct("!QIQII")
 _DONE = struct.Struct("!QI")
 _DONE_ACK = struct.Struct("!QI")
-_OPEN = struct.Struct("!H")  # name length; name = tail
-_OPEN_OK = struct.Struct("!QQ")
-_OPEN_ERR = struct.Struct("!H")  # reason length; reason = tail
+_OPEN = struct.Struct("!IH")  # proposed symbol size, name length; name = tail
+_OPEN_OK = struct.Struct("!QQI")  # session id, object bytes, granted symbol size
+_OPEN_ERR = struct.Struct("!BH")  # refusal code, reason length; reason = tail
 
 _FLAG_HAS_DATA = 0x01
+
+#: OPEN_ERR refusal codes.
+OPEN_ERR_UNKNOWN_OBJECT = 1
+OPEN_ERR_BUSY = 2
+OPEN_ERR_BAD_SYMBOL_SIZE = 3
+
+#: IPv4 + UDP header bytes between the link MTU and the datagram payload.
+UDP_IPV4_OVERHEAD = 28
+
+#: Frame bytes around a symbol's data tail (frame header + symbol body).
+SYMBOL_FRAME_OVERHEAD = _HEADER.size + _SYMBOL.size
+
+
+def max_symbol_size_for_mtu(mtu: int) -> int:
+    """The largest symbol payload whose DATA frame fits one ``mtu`` datagram.
+
+    Accounts for the IPv4/UDP headers and the symbol frame's own framing;
+    the result can be zero or negative for absurdly small MTUs, which
+    callers must reject.
+    """
+    return mtu - UDP_IPV4_OVERHEAD - SYMBOL_FRAME_OVERHEAD
 
 
 class WireError(ValueError):
@@ -73,24 +99,41 @@ class WireError(ValueError):
 
 @dataclass(frozen=True)
 class OpenPayload:
-    """Client -> server: open a transfer session for a named object."""
+    """Client -> server: open a transfer session for a named object.
+
+    ``symbol_size`` is the largest symbol payload the client's path MTU
+    admits (0 = no preference; the server grants its own default).
+    """
 
     object_name: str
+    symbol_size: int = 0
 
 
 @dataclass(frozen=True)
 class OpenOkPayload:
-    """Server -> client: the granted session id and the object's size."""
+    """Server -> client: the granted session id, object size and symbol size.
+
+    The granted ``symbol_size`` is final for the session: the receiver must
+    partition the object with it, and it is never larger than the client's
+    proposal (when one was made).
+    """
 
     session_id: int
     object_bytes: int
+    symbol_size: int = 0
 
 
 @dataclass(frozen=True)
 class OpenErrPayload:
-    """Server -> client: the open was refused."""
+    """Server -> client: the open was refused.
+
+    ``code`` is machine-readable (:data:`OPEN_ERR_UNKNOWN_OBJECT`,
+    :data:`OPEN_ERR_BUSY`, :data:`OPEN_ERR_BAD_SYMBOL_SIZE`); ``reason``
+    is the human-readable explanation.
+    """
 
     reason: str
+    code: int = OPEN_ERR_UNKNOWN_OBJECT
 
 
 WirePayload = Union[
@@ -159,14 +202,16 @@ def encode_frame(payload: WirePayload, sent_at: float = 0.0) -> bytes:
         )
     if isinstance(payload, OpenPayload):
         name = payload.object_name.encode("utf-8")
-        return _header(TYPE_OPEN) + _OPEN.pack(len(name)) + name
+        return _header(TYPE_OPEN) + _OPEN.pack(payload.symbol_size, len(name)) + name
     if isinstance(payload, OpenOkPayload):
         return _header(TYPE_OPEN_OK) + _OPEN_OK.pack(
-            payload.session_id, payload.object_bytes
+            payload.session_id, payload.object_bytes, payload.symbol_size
         )
     if isinstance(payload, OpenErrPayload):
         reason = payload.reason.encode("utf-8")
-        return _header(TYPE_OPEN_ERR) + _OPEN_ERR.pack(len(reason)) + reason
+        return _header(TYPE_OPEN_ERR) + _OPEN_ERR.pack(
+            payload.code, len(reason)
+        ) + reason
     raise WireError(f"cannot encode payload of type {type(payload).__name__}")
 
 
@@ -256,20 +301,28 @@ def _decode_body(frame_type: int, body: bytes) -> WireFrame:
         session_id, sender_host = _require_exact(_DONE_ACK, body)
         return WireFrame(DoneAckPayload(session_id=session_id, sender_host=sender_host))
     if frame_type == TYPE_OPEN:
-        (length,) = _OPEN.unpack_from(body)
+        symbol_size, length = _OPEN.unpack_from(body)
         name = body[_OPEN.size:]
         if len(name) != length:
             raise WireError("OPEN name length mismatch")
-        return WireFrame(OpenPayload(object_name=name.decode("utf-8")))
+        return WireFrame(
+            OpenPayload(object_name=name.decode("utf-8"), symbol_size=symbol_size)
+        )
     if frame_type == TYPE_OPEN_OK:
-        session_id, object_bytes = _require_exact(_OPEN_OK, body)
-        return WireFrame(OpenOkPayload(session_id=session_id, object_bytes=object_bytes))
+        session_id, object_bytes, symbol_size = _require_exact(_OPEN_OK, body)
+        return WireFrame(
+            OpenOkPayload(
+                session_id=session_id,
+                object_bytes=object_bytes,
+                symbol_size=symbol_size,
+            )
+        )
     if frame_type == TYPE_OPEN_ERR:
-        (length,) = _OPEN_ERR.unpack_from(body)
+        code, length = _OPEN_ERR.unpack_from(body)
         reason = body[_OPEN_ERR.size:]
         if len(reason) != length:
             raise WireError("OPEN_ERR reason length mismatch")
-        return WireFrame(OpenErrPayload(reason=reason.decode("utf-8")))
+        return WireFrame(OpenErrPayload(reason=reason.decode("utf-8"), code=code))
     raise WireError(f"unknown frame type {frame_type}")
 
 

@@ -119,6 +119,21 @@ class ReceiverCore(ActionEmitter):
 
         self._emit(SetTimer(self.TIMER_STALL, self.config.stall_timeout_s))
 
+    # Public state -----------------------------------------------------------------
+
+    @property
+    def done_fully_acked(self) -> bool:
+        """True once every known or expected sender has acknowledged our DONE.
+
+        Before completion this is simply "no sender still owes an ack" --
+        trivially True when no senders are known yet -- so callers should
+        combine it with :attr:`completed`; a completed session uses it to
+        decide whether DONE retransmissions can stop (and a client endpoint
+        whether it may tear its socket down without orphaning the server).
+        """
+        senders = self._known_senders | set(self.expected_senders)
+        return not (senders - self._done_acked)
+
     # Session initiation -----------------------------------------------------------
 
     def start_fetch(self) -> None:
@@ -385,7 +400,7 @@ class ReceiverCore(ActionEmitter):
     def on_done_ack(self, ack: DoneAckPayload) -> None:
         """A sender confirmed our DONE; stop retrying once every sender has."""
         self._done_acked.add(ack.sender_host)
-        if not (self._known_senders | set(self.expected_senders)) - self._done_acked:
+        if self.done_fully_acked:
             self._emit(StopTimer(self.TIMER_DONE))
 
     def _retry_done(self, now: float) -> None:

@@ -13,12 +13,13 @@ from repro.net.server import (
 )
 
 
-async def _start_server(store, **kwargs):
-    """Bind a server on an OS-assigned loopback port; return (transport, protocol, port)."""
-    loop = asyncio.get_event_loop()
+async def _start_server(store, port=0, **kwargs):
+    """Bind a server on a loopback port (OS-assigned by default); return
+    (transport, protocol, port)."""
+    loop = asyncio.get_running_loop()
     transport, protocol = await loop.create_datagram_endpoint(
         lambda: PolyraptorServerProtocol(store, **kwargs),
-        local_addr=("127.0.0.1", 0),
+        local_addr=("127.0.0.1", port),
     )
     port = transport.get_extra_info("sockname")[1]
     return transport, protocol, port
@@ -89,6 +90,52 @@ def test_receiver_restart_fetches_again_cleanly():
     asyncio.run(scenario())
 
 
+def test_server_restart_mid_transfer_resumes_and_completes():
+    """Kill the server *after* the client has real progress and bring a
+    fresh one up on the same port: the client's silent-source recovery
+    re-OPENs (obtaining a brand-new grant from the restarted process),
+    re-REQUESTs, and finishes the transfer with the symbols it already had."""
+
+    async def scenario():
+        store = _store("phoenix", 400_000)
+        # Modest rates so the transfer takes tens of milliseconds -- long
+        # enough to kill the server mid-stream deterministically.
+        transport, protocol, port = await _start_server(store, max_rate_bps=50e6)
+        fetch = asyncio.ensure_future(
+            fetch_object_async(
+                "phoenix", port=port, transfer_timeout_s=20.0,
+                max_rate_bps=50e6, resume_interval_s=0.2,
+            )
+        )
+        # Wait for a live session, then let some symbols flow.
+        for _ in range(400):
+            if protocol._sessions:
+                break
+            await asyncio.sleep(0.005)
+        else:
+            pytest.fail("no session ever started")
+        await asyncio.sleep(0.02)
+        drivers = list(protocol._sessions.values())
+        assert drivers and drivers[0].core.symbols_sent > 0, "restart was not mid-transfer"
+        assert protocol.sessions_completed == 0, "transfer finished before the restart"
+        transport.close()
+        await asyncio.sleep(0.05)
+
+        transport2, protocol2, _ = await _start_server(
+            store, max_rate_bps=50e6, port=port
+        )
+        try:
+            data = await fetch
+        finally:
+            transport2.close()
+        assert data == store.get("phoenix")
+        assert protocol2.sessions_completed == 1
+        # The restarted process issued its own fresh grant for the resume.
+        assert protocol2.issued_session_ids
+
+    asyncio.run(scenario())
+
+
 def test_same_seed_drops_identical_frames():
     """The induced-loss stream is seeded: feeding one frame sequence into
     two equally seeded client protocols drops the exact same frames --
@@ -155,7 +202,7 @@ def test_server_ignores_junk_and_keeps_serving():
     async def scenario():
         store = _store("robust", 80_000)
         transport, protocol, port = await _start_server(store)
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         junk_transport, _ = await loop.create_datagram_endpoint(
             asyncio.DatagramProtocol, remote_addr=("127.0.0.1", port)
         )

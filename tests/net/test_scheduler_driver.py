@@ -46,6 +46,19 @@ class TestManualScheduler:
         with pytest.raises(ValueError):
             ManualScheduler().call_later(-0.1, lambda: None)
 
+    def test_run_until_a_past_target_never_rewinds_the_clock(self):
+        """The deterministic clock is monotonic: a target before now clamps
+        to now (firing nothing) instead of moving time backwards."""
+        scheduler = ManualScheduler()
+        scheduler.run_until(5.0)
+        fired = []
+        scheduler.call_later(1.0, lambda: fired.append(scheduler.time()))
+        assert scheduler.run_until(3.0) == 0
+        assert scheduler.time() == 5.0
+        assert fired == []
+        scheduler.run_until(6.5)  # pending work is intact and still due at 6.0
+        assert fired == [6.0]
+
     def test_callbacks_can_schedule_more_work(self):
         scheduler = ManualScheduler()
         times = []

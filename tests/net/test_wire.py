@@ -11,6 +11,9 @@ from repro.core.packets import (
 )
 from repro.net.wire import (
     MAGIC,
+    OPEN_ERR_BUSY,
+    OPEN_ERR_UNKNOWN_OBJECT,
+    UDP_IPV4_OVERHEAD,
     WIRE_VERSION,
     OpenErrPayload,
     OpenOkPayload,
@@ -18,6 +21,7 @@ from repro.net.wire import (
     WireError,
     decode_frame,
     encode_frame,
+    max_symbol_size_for_mtu,
 )
 
 ALL_PAYLOADS = [
@@ -40,8 +44,11 @@ ALL_PAYLOADS = [
     DonePayload(session_id=7, receiver_host=5),
     DoneAckPayload(session_id=7, sender_host=3),
     OpenPayload(object_name="objects/dataset-β.bin"),
+    OpenPayload(object_name="mtu-capped", symbol_size=1200),
     OpenOkPayload(session_id=99, object_bytes=2**40),
+    OpenOkPayload(session_id=99, object_bytes=2**40, symbol_size=512),
     OpenErrPayload(reason="unknown object 'x'"),
+    OpenErrPayload(reason="busy: 4 of 4 sessions in use", code=OPEN_ERR_BUSY),
 ]
 
 
@@ -138,3 +145,37 @@ def test_invalid_utf8_name_rejected():
 def test_unencodable_payload_rejected():
     with pytest.raises(WireError, match="cannot encode"):
         encode_frame(object())
+
+
+def test_handshake_defaults_keep_the_fields_optional():
+    """symbol_size=0 means 'no preference' / 'server default' and code
+    defaults to the historical unknown-object refusal."""
+    assert decode_frame(encode_frame(OpenPayload(object_name="x"))).payload.symbol_size == 0
+    assert decode_frame(
+        encode_frame(OpenOkPayload(session_id=1, object_bytes=2))
+    ).payload.symbol_size == 0
+    assert decode_frame(
+        encode_frame(OpenErrPayload(reason="nope"))
+    ).payload.code == OPEN_ERR_UNKNOWN_OBJECT
+
+
+@pytest.mark.parametrize("mtu", [576, 1280, 1500, 9000])
+def test_max_symbol_size_for_mtu_frames_actually_fit(mtu):
+    """A full symbol frame at the derived size, plus UDP/IPv4 headers, must
+    fit the MTU exactly at the limit -- that is the whole point of the bound."""
+    size = max_symbol_size_for_mtu(mtu)
+    assert size > 0
+    symbol = SymbolPayload(
+        session_id=1, sender_host=0, block_number=0, esi=0,
+        block_symbol_count=1, num_blocks=1, object_bytes=size,
+        data=bytes(size), sequence=1,
+    )
+    datagram = encode_frame(symbol, sent_at=123.456)
+    assert len(datagram) + UDP_IPV4_OVERHEAD == mtu
+    # One more payload byte would overflow the MTU.
+    bigger = SymbolPayload(
+        session_id=1, sender_host=0, block_number=0, esi=0,
+        block_symbol_count=1, num_blocks=1, object_bytes=size + 1,
+        data=bytes(size + 1), sequence=1,
+    )
+    assert len(encode_frame(bigger, sent_at=123.456)) + UDP_IPV4_OVERHEAD == mtu + 1

@@ -1,0 +1,55 @@
+"""Unit coverage for ReceiverCore's public completion-handshake surface."""
+
+from repro.core.config import PolyraptorConfig
+from repro.core.packets import DoneAckPayload, SymbolPayload
+from repro.protocol.receiver import ReceiverCore
+
+
+def _core(expected_senders):
+    return ReceiverCore(
+        config=PolyraptorConfig(),
+        session_id=7,
+        object_bytes=1408 * 10,
+        local_host=1,
+        expected_senders=expected_senders,
+    )
+
+
+def _ack(sender):
+    return DoneAckPayload(session_id=7, sender_host=sender)
+
+
+def test_done_fully_acked_requires_every_expected_sender():
+    core = _core([0, 2, 4])
+    assert not core.done_fully_acked
+    core.on_done_ack(_ack(0))
+    core.on_done_ack(_ack(2))
+    assert not core.done_fully_acked
+    core.on_done_ack(_ack(4))
+    assert core.done_fully_acked
+
+
+def test_duplicate_acks_are_idempotent():
+    core = _core([0])
+    core.on_done_ack(_ack(0))
+    core.on_done_ack(_ack(0))
+    assert core.done_fully_acked
+
+
+def test_senders_discovered_mid_transfer_must_also_ack():
+    """A sender that showed up via symbols (multicast, repair peers) joins
+    the handshake even when it was never in expected_senders."""
+    core = _core([0])
+    core.on_symbol(
+        SymbolPayload(
+            session_id=7, sender_host=6, block_number=0, esi=0,
+            block_symbol_count=10, num_blocks=1, object_bytes=1408 * 10,
+            data=None, sequence=1,
+        ),
+        trimmed=False,
+        now=0.001,
+    )
+    core.on_done_ack(_ack(0))
+    assert not core.done_fully_acked
+    core.on_done_ack(_ack(6))
+    assert core.done_fully_acked
